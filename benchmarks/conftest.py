@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper's evaluation
+(see DESIGN.md Section 4 for the index) and records the headline numbers
+in ``benchmark.extra_info`` so the JSON output carries the
+paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accel.designs import proposed_design, vitis_baseline_design
+
+
+@pytest.fixture(scope="session")
+def proposed():
+    return proposed_design()
+
+
+@pytest.fixture(scope="session")
+def vitis():
+    return vitis_baseline_design()

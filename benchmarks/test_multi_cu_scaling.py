@@ -1,0 +1,26 @@
+"""Extension bench: multi-CU scaling (the paper's future-work direction).
+
+Evaluates a second RKL compute unit on the U200's second DDR-attached
+SLR. RKL near-halves; the whole-mesh RKU update does not scale and
+becomes the Amdahl bottleneck the analysis exposes.
+"""
+
+import pytest
+
+from repro.accel.multi_cu import render_scaling_table, scaling_table
+
+
+def test_multi_cu_scaling(benchmark, proposed):
+    table = benchmark(lambda: scaling_table(4_200_000, proposed))
+    print()
+    print(render_scaling_table(table))
+
+    one, two = table
+    rkl_ratio = one.rkl_seconds_per_stage / two.rkl_seconds_per_stage
+    step_ratio = one.rk_step_seconds / two.rk_step_seconds
+    assert rkl_ratio > 1.9  # RKL scales
+    assert step_ratio < rkl_ratio  # Amdahl: RKU does not
+    assert two.clock_mhz == pytest.approx(150.0)
+
+    benchmark.extra_info["rkl_scaling"] = round(rkl_ratio, 2)
+    benchmark.extra_info["step_scaling"] = round(step_ratio, 2)

@@ -1,0 +1,51 @@
+"""Section IV-B — power comparison.
+
+Paper: CPU 120.42 W vs FPGA 32.4 W core + 30.7 W peripherals + 1.7 W
+rest; reported as 3.64x lower (core + rest accounting).
+"""
+
+import pytest
+
+from repro.experiments.sec4b_power import (
+    PAPER_POWER_RATIO,
+    render_sec4b_power,
+    run_sec4b_power,
+)
+
+
+def test_sec4b_power(benchmark, proposed):
+    result = benchmark(lambda: run_sec4b_power(design=proposed))
+    print()
+    print(render_sec4b_power(result))
+
+    assert result.cpu_w == pytest.approx(120.42)
+    assert result.fpga.core_w == pytest.approx(32.4, abs=2.0)
+    assert result.fpga.peripherals_w == pytest.approx(30.7)
+    assert result.fpga.rest_w == pytest.approx(1.7)
+    assert result.paper_accounting_ratio == pytest.approx(
+        PAPER_POWER_RATIO, abs=0.3
+    )
+
+    benchmark.extra_info["model_core_w"] = round(result.fpga.core_w, 2)
+    benchmark.extra_info["paper_core_w"] = 32.4
+    benchmark.extra_info["model_ratio"] = round(
+        result.paper_accounting_ratio, 2
+    )
+    benchmark.extra_info["paper_ratio"] = PAPER_POWER_RATIO
+
+
+def test_power_energy_advantage(benchmark, proposed):
+    """Energy per step combines the 45 % latency and the power gap: the
+    FPGA system must also win on energy-to-solution."""
+    from repro.experiments.sec4b_cpu import run_sec4b_cpu
+
+    def energies():
+        cpu = run_sec4b_cpu(design=proposed)
+        power = run_sec4b_power(design=proposed)
+        cpu_energy = cpu.cpu_step_seconds * power.cpu_w
+        fpga_energy = cpu.fpga_end_to_end_seconds * power.fpga.total_w
+        return cpu_energy, fpga_energy
+
+    cpu_energy, fpga_energy = benchmark(energies)
+    assert fpga_energy < cpu_energy / 2.5
+    benchmark.extra_info["energy_ratio"] = round(cpu_energy / fpga_energy, 2)

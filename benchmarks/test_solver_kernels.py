@@ -1,0 +1,71 @@
+"""Microbenchmarks of the functional solver's hot kernels.
+
+Not a paper artifact — these keep the numpy substrate honest (the
+profiling cross-check of Fig. 2 depends on these kernels' relative
+costs) and guard against performance regressions in the library itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fem.geometry import compute_geometry
+from repro.fem.reference import reference_hex
+from repro.mesh.hexmesh import periodic_box_mesh
+from repro.physics.taylor_green import DEFAULT_TGV, taylor_green_initial
+from repro.solver.navier_stokes import NavierStokesOperator
+
+
+@pytest.fixture(scope="module")
+def setup():
+    mesh = periodic_box_mesh(6, 2)
+    operator = NavierStokesOperator(mesh, DEFAULT_TGV.gas())
+    state = taylor_green_initial(mesh.coords, DEFAULT_TGV)
+    stacked = state.as_stacked()
+    return mesh, operator, stacked
+
+
+def test_bench_full_residual(benchmark, setup):
+    _mesh, operator, stacked = setup
+    rhs = benchmark(operator.residual, stacked)
+    assert rhs.shape == stacked.shape
+
+
+def test_bench_diffusion_pass(benchmark, setup):
+    _mesh, operator, stacked = setup
+    state_elem = operator._gather_state(stacked)
+    out = benchmark(operator.diffusion_element_residuals, state_elem)
+    assert np.isfinite(out).all()
+
+
+def test_bench_convection_pass(benchmark, setup):
+    _mesh, operator, stacked = setup
+    state_elem = operator._gather_state(stacked)
+    out = benchmark(operator.convection_element_residuals, state_elem)
+    assert np.isfinite(out).all()
+
+
+def test_bench_gather_scatter(benchmark, setup):
+    mesh, operator, stacked = setup
+
+    def round_trip():
+        gathered = operator._gather_state(stacked)
+        return operator._scatter_residuals(gathered)
+
+    out = benchmark(round_trip)
+    assert out.shape == stacked.shape
+
+
+def test_bench_geometry_build(benchmark):
+    mesh = periodic_box_mesh(8, 2)
+    ref = reference_hex(2)
+    geom = benchmark(compute_geometry, mesh.corner_coords, ref)
+    assert geom.is_affine
+
+
+def test_bench_rk4_step(benchmark, setup):
+    from repro.solver.simulation import Simulation
+
+    mesh, _operator, _stacked = setup
+    sim = Simulation(mesh, DEFAULT_TGV)
+    dt = sim.compute_dt()
+    benchmark.pedantic(sim.step, args=(dt,), rounds=3, iterations=1)

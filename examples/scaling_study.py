@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Regenerate the paper's full evaluation (Figs. 2 & 5, Table I, Sec IV-B).
+
+Runs every experiment of the harness and prints the paper-style tables
+with the reference values alongside — the one-command reproduction of
+the evaluation section.
+
+Usage::
+
+    python examples/scaling_study.py
+"""
+
+from __future__ import annotations
+
+from repro.accel.designs import proposed_design, vitis_baseline_design
+from repro.experiments import (
+    render_ablation_study,
+    render_fig2,
+    render_fig5,
+    render_sec4b_cpu,
+    render_sec4b_power,
+    render_tab1,
+    run_ablation_study,
+    run_fig2,
+    run_fig5,
+    run_sec4b_cpu,
+    run_sec4b_power,
+    run_tab1,
+)
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main() -> None:
+    print("Building both design points (proposed + Vitis baseline)...")
+    proposed = proposed_design()
+    vitis = vitis_baseline_design()
+    print(f"  {proposed.summary()}")
+    print(f"  {vitis.summary()}")
+
+    banner("Fig. 2 — CPU execution-time breakdown")
+    print(render_fig2(run_fig2()))
+
+    banner("Fig. 5 — RK method execution time vs mesh nodes")
+    print(render_fig5(run_fig5(proposed=proposed, vitis=vitis)))
+
+    banner("Table I — post-P&R resource utilization")
+    print(render_tab1(run_tab1(proposed=proposed, vitis=vitis)))
+
+    banner("Section IV-B — CPU comparison (4.2M nodes)")
+    print(render_sec4b_cpu(run_sec4b_cpu(design=proposed)))
+
+    banner("Section IV-B — power comparison")
+    print(render_sec4b_power(run_sec4b_power(design=proposed)))
+
+    banner("Ablation study (ours) — contribution of each optimization")
+    print(render_ablation_study(run_ablation_study(proposed=proposed)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment ships setuptools 65 without the ``wheel``
+package, so PEP 517 editable installs (which need ``bdist_wheel``) fail.
+This shim enables the legacy path: ``pip install -e . --no-use-pep517``.
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

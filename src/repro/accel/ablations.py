@@ -1,0 +1,59 @@
+"""Single-optimization ablation variants of the proposed design.
+
+The paper motivates four architectural decisions (TLP restructuring,
+per-array AXI assignment, decoupled RKU interfaces, SLR splitting); the
+ablations quantify each by disabling exactly one of them and re-running
+the full timing model. Used by ``benchmarks/test_ablations.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..fpga.device import ALVEO_U200, FPGADevice
+from .calibration import DEFAULT_CALIBRATION, AcceleratorCalibration
+from .designs import (
+    AcceleratorDesign,
+    PROPOSED_OPTIONS,
+    custom_design,
+)
+
+#: Name -> option override disabling one optimization.
+ABLATION_VARIANTS = {
+    "no-element-tlp": {"element_dataflow": False},
+    "no-node-tlp": {"node_dataflow": False},
+    "single-load-interface": {
+        "num_load_interfaces": 1,
+        "num_store_interfaces": 1,
+    },
+    "coupled-rku": {"decoupled_rku": False},
+    "shared-slr": {"split_slrs": False},
+}
+
+
+def ablated_design(
+    name: str,
+    device: FPGADevice = ALVEO_U200,
+    calibration: AcceleratorCalibration = DEFAULT_CALIBRATION,
+) -> AcceleratorDesign:
+    """The proposed design with one optimization removed."""
+    try:
+        overrides = ABLATION_VARIANTS[name]
+    except KeyError:
+        known = ", ".join(sorted(ABLATION_VARIANTS))
+        raise KeyError(f"unknown ablation {name!r}; known: {known}") from None
+    options = replace(
+        PROPOSED_OPTIONS, name=f"proposed-{name}", **overrides
+    )
+    return custom_design(options, device, calibration)
+
+
+def all_ablations(
+    device: FPGADevice = ALVEO_U200,
+    calibration: AcceleratorCalibration = DEFAULT_CALIBRATION,
+) -> dict[str, AcceleratorDesign]:
+    """All ablated designs keyed by ablation name."""
+    return {
+        name: ablated_design(name, device, calibration)
+        for name in ABLATION_VARIANTS
+    }

@@ -1,0 +1,207 @@
+"""Timing evaluation and functional co-simulation of a design.
+
+Two granularities:
+
+- **analytic** (:func:`rk_step_seconds` and friends): steady-state
+  extrapolation used at paper-scale mesh sizes — verified against the
+  cycle-level dataflow simulation by the test suite;
+- **cycle-level** (:func:`cosimulate_small_mesh`): builds the element
+  pipeline as a :class:`~repro.dataflow.graph.DataflowGraph`, runs the
+  cycle simulator for every element of a real (small) mesh, and runs the
+  functional numpy solver on the same mesh — demonstrating that the
+  accelerator computes the *same physics* the timing model prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import seconds_from_cycles
+from ..dataflow.graph import DataflowGraph
+from ..dataflow.simulator import DataflowSimulator, SimulationTrace
+from ..dataflow.task import Task
+from ..errors import ExperimentError
+from ..mesh.hexmesh import HexMesh
+from ..timeint.butcher import RK4, ButcherTableau
+from .designs import AcceleratorDesign
+
+
+@dataclass(frozen=True)
+class DesignTiming:
+    """Seconds per time step of one design on one mesh size."""
+
+    design_name: str
+    num_nodes: int
+    num_elements: int
+    clock_mhz: float
+    rkl_seconds_per_stage: float
+    rku_seconds_per_step: float
+    num_stages: int
+
+    @property
+    def rk_step_seconds(self) -> float:
+        """RKL (all stages) + RKU for one time step."""
+        return self.rkl_seconds_per_stage * self.num_stages + (
+            self.rku_seconds_per_step
+        )
+
+
+def _elements_for_nodes(num_nodes: int, polynomial_order: int = 2) -> int:
+    """Periodic TGV mesh: each element contributes p**3 unique nodes."""
+    return max(1, round(num_nodes / polynomial_order**3))
+
+
+def design_timing(
+    design: AcceleratorDesign,
+    num_nodes: int,
+    num_elements: int | None = None,
+    tableau: ButcherTableau = RK4,
+) -> DesignTiming:
+    """Analytic timing of one design at one mesh size."""
+    if num_nodes < 1:
+        raise ExperimentError("num_nodes must be >= 1")
+    if num_elements is None:
+        num_elements = _elements_for_nodes(num_nodes, design.rkl.polynomial_order)
+    hz = design.clock_mhz * 1e6
+    rkl_cycles = design.rkl_stage_cycles(num_nodes, num_elements)
+    rku_cycles = design.rku_step_cycles(num_nodes)
+    return DesignTiming(
+        design_name=design.options.name,
+        num_nodes=num_nodes,
+        num_elements=num_elements,
+        clock_mhz=design.clock_mhz,
+        rkl_seconds_per_stage=seconds_from_cycles(rkl_cycles, hz),
+        rku_seconds_per_step=seconds_from_cycles(rku_cycles, hz),
+        num_stages=tableau.num_stages,
+    )
+
+
+def rk_step_seconds(
+    design: AcceleratorDesign, num_nodes: int, tableau: ButcherTableau = RK4
+) -> float:
+    """Seconds for one RK time step (RKL x stages + RKU)."""
+    return design_timing(design, num_nodes, tableau=tableau).rk_step_seconds
+
+
+def rk_method_seconds(
+    design: AcceleratorDesign,
+    num_nodes: int,
+    num_steps: int,
+    tableau: ButcherTableau = RK4,
+) -> float:
+    """Seconds for the RK method over a whole run (Fig. 5's metric)."""
+    if num_steps < 1:
+        raise ExperimentError("num_steps must be >= 1")
+    return rk_step_seconds(design, num_nodes, tableau) * num_steps
+
+
+def end_to_end_step_seconds(
+    design: AcceleratorDesign,
+    num_nodes: int,
+    host_non_rk_seconds: float,
+    pcie_seconds: float = 0.0,
+    tableau: ButcherTableau = RK4,
+) -> float:
+    """End-to-end step: host non-RK work + accelerator RK + PCIe sync.
+
+    This is the Section IV-B comparison: the host retains the non-RK
+    phases ("The remaining computations are handled by the host CPU")
+    while the accelerator executes the RK method.
+    """
+    if host_non_rk_seconds < 0 or pcie_seconds < 0:
+        raise ExperimentError("times must be >= 0")
+    return (
+        host_non_rk_seconds
+        + rk_step_seconds(design, num_nodes, tableau)
+        + pcie_seconds
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cycle-level co-simulation
+# ---------------------------------------------------------------------------
+
+
+def build_rkl_dataflow_graph(
+    design: AcceleratorDesign, num_nodes: int
+) -> DataflowGraph:
+    """The element pipeline as an explicit dataflow graph.
+
+    Task latencies come from the same models as the analytic path, so a
+    cycle-level run must agree with ``fill + II * (E - 1)`` — asserted by
+    the integration tests.
+    """
+    cycles = design.rkl_element_cycles(num_nodes)
+    graph = DataflowGraph(name=f"rkl-{design.options.name}")
+    graph.chain(
+        [
+            Task(
+                "load_element",
+                max(1, round(cycles["load"])),
+                kind="load",
+            ),
+            Task(
+                "compute_diffusion_convection",
+                max(1, round(cycles["compute"])),
+                kind="compute",
+            ),
+            Task(
+                "store_element_contribution",
+                max(1, round(cycles["store"])),
+                kind="store",
+            ),
+        ]
+    )
+    return graph
+
+
+@dataclass
+class CosimResult:
+    """Functional + timing co-simulation outcome on a small mesh."""
+
+    trace: SimulationTrace
+    analytic_cycles: float
+    simulated_cycles: int
+    kinetic_energy: float
+    mass_drift: float
+
+    @property
+    def cycle_agreement(self) -> float:
+        """|simulated - analytic| / analytic."""
+        return abs(self.simulated_cycles - self.analytic_cycles) / (
+            self.analytic_cycles
+        )
+
+
+def cosimulate_small_mesh(
+    design: AcceleratorDesign,
+    mesh: HexMesh,
+    num_steps: int = 2,
+) -> CosimResult:
+    """Run functional solve + cycle-level pipeline on one small mesh.
+
+    The functional result (from :class:`repro.solver.Simulation`) proves
+    the workload is real physics; the cycle-level trace validates the
+    analytic extrapolation the experiments rely on.
+    """
+    from ..physics.taylor_green import DEFAULT_TGV
+    from ..solver.simulation import Simulation
+
+    sim = Simulation(mesh, DEFAULT_TGV)
+    result = sim.run(num_steps)
+
+    graph = build_rkl_dataflow_graph(design, mesh.num_nodes)
+    trace = DataflowSimulator(graph).run(mesh.num_elements)
+    if design.options.element_dataflow:
+        analytic = design.rkl_fill_cycles(mesh.num_nodes) + (
+            design.rkl_element_ii(mesh.num_nodes) * (mesh.num_elements - 1)
+        )
+    else:
+        analytic = design.rkl_element_ii(mesh.num_nodes) * mesh.num_elements
+    return CosimResult(
+        trace=trace,
+        analytic_cycles=analytic,
+        simulated_cycles=trace.total_cycles,
+        kinetic_energy=result.records[-1].kinetic_energy,
+        mass_drift=result.mass_drift(),
+    )

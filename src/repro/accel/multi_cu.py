@@ -1,0 +1,141 @@
+"""Multi-compute-unit scaling — the paper's future-work direction.
+
+The paper closes by "paving the way for tackling even more challenging
+CFD simulations". The natural next step on the U200 is a second RKL
+compute unit: the board has *two* DDR-attached SLRs (SLR0 and SLR2, each
+with its own pair of DDR4 channels), so the element stream can be split
+across two identical RKL instances with no shared memory bandwidth,
+while RKU stays on SLR1 between them.
+
+This module elaborates that design point from the same kernel models:
+
+- elements are balanced across the CUs
+  (:func:`repro.mesh.partition.partition_elements_balanced` semantics);
+- each CU keeps the proposed design's element II against *its own* DDR
+  channels;
+- RKL time per stage becomes the max over CUs (near-halved);
+- RKU (whole-mesh update) is unchanged and grows in relative weight —
+  the emerging Amdahl bottleneck the analysis surfaces.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import seconds_from_cycles
+from ..errors import ExperimentError
+from ..fpga.device import ALVEO_U200, FPGADevice
+from ..fpga.floorplan import KernelPlacement, clock_for_floorplan, plan_floorplan
+from ..timeint.butcher import RK4, ButcherTableau
+from .designs import AcceleratorDesign, proposed_design
+
+#: DDR-attached SLRs on the U200 bound the CU count.
+MAX_COMPUTE_UNITS = 2
+
+
+@dataclass(frozen=True)
+class MultiCUTiming:
+    """Per-step timing of an N-CU configuration."""
+
+    num_compute_units: int
+    num_nodes: int
+    clock_mhz: float
+    rkl_seconds_per_stage: float
+    rku_seconds_per_step: float
+    num_stages: int
+
+    @property
+    def rk_step_seconds(self) -> float:
+        return (
+            self.rkl_seconds_per_stage * self.num_stages
+            + self.rku_seconds_per_step
+        )
+
+
+def multi_cu_floorplan(
+    base: AcceleratorDesign,
+    num_compute_units: int,
+    device: FPGADevice = ALVEO_U200,
+):
+    """Place N RKL CUs on the DDR-attached SLRs, RKU on SLR1."""
+    if not 1 <= num_compute_units <= MAX_COMPUTE_UNITS:
+        raise ExperimentError(
+            f"num_compute_units must be 1..{MAX_COMPUTE_UNITS}"
+        )
+    ddr_slrs = [s.name for s in device.ddr_attached_slrs()]
+    placements = [
+        KernelPlacement(
+            f"rkl{cu}",
+            base.rkl_resources,
+            needs_ddr_attach=True,
+            slr=ddr_slrs[cu],
+        )
+        for cu in range(num_compute_units)
+    ]
+    placements.append(KernelPlacement("rku", base.rku_resources, slr="SLR1"))
+    return plan_floorplan(device, placements)
+
+
+def multi_cu_timing(
+    num_compute_units: int,
+    num_nodes: int,
+    base: AcceleratorDesign | None = None,
+    device: FPGADevice = ALVEO_U200,
+    tableau: ButcherTableau = RK4,
+) -> MultiCUTiming:
+    """Timing of the N-CU configuration at one mesh size."""
+    if num_nodes < 1:
+        raise ExperimentError("num_nodes must be >= 1")
+    base = base if base is not None else proposed_design()
+    plan = multi_cu_floorplan(base, num_compute_units, device)
+    clock = clock_for_floorplan(plan)
+    hz = clock * 1e6
+
+    num_elements = max(1, round(num_nodes / base.rkl.polynomial_order**3))
+    per_cu = math.ceil(num_elements / num_compute_units)
+    # Each CU streams its share against its own DDR channel pair; the
+    # gather footprint per CU is its partition of the mesh.
+    nodes_per_cu = max(1, round(num_nodes / num_compute_units))
+    stage_cycles = base.rkl_fill_cycles(nodes_per_cu) + (
+        base.rkl_element_ii(nodes_per_cu) * (per_cu - 1)
+    )
+    rku_cycles = base.rku_step_cycles(num_nodes)
+    return MultiCUTiming(
+        num_compute_units=num_compute_units,
+        num_nodes=num_nodes,
+        clock_mhz=clock,
+        rkl_seconds_per_stage=seconds_from_cycles(stage_cycles, hz),
+        rku_seconds_per_step=seconds_from_cycles(rku_cycles, hz),
+        num_stages=tableau.num_stages,
+    )
+
+
+def scaling_table(
+    num_nodes: int,
+    base: AcceleratorDesign | None = None,
+) -> list[MultiCUTiming]:
+    """Timing at 1..MAX CUs for one mesh size."""
+    base = base if base is not None else proposed_design()
+    return [
+        multi_cu_timing(cus, num_nodes, base)
+        for cus in range(1, MAX_COMPUTE_UNITS + 1)
+    ]
+
+
+def render_scaling_table(timings: list[MultiCUTiming]) -> str:
+    """Readable CU-scaling table with the Amdahl split."""
+    lines = [
+        f"Multi-CU scaling at {timings[0].num_nodes} nodes",
+        f"{'CUs':>4} {'clock':>7} {'RKL s/stage':>13} {'RKU s/step':>12} "
+        f"{'RK s/step':>11} {'speedup':>9}",
+        "-" * 60,
+    ]
+    base_step = timings[0].rk_step_seconds
+    for t in timings:
+        lines.append(
+            f"{t.num_compute_units:>4} {t.clock_mhz:>5.0f}M "
+            f"{t.rkl_seconds_per_stage:>13.4f} {t.rku_seconds_per_step:>12.4f} "
+            f"{t.rk_step_seconds:>11.4f} {base_step / t.rk_step_seconds:>8.2f}x"
+        )
+    return "\n".join(lines)

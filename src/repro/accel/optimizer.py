@@ -1,0 +1,232 @@
+"""The Section III-D iterative Initiation-Interval optimizer.
+
+The paper's procedure, verbatim: identify the task with the highest
+latency criticality; extract its high-trip-count loops and pipeline
+them; fully unroll small-trip-count loops; apply array partitioning "with
+the appropriate factors" to feed the parallel accesses; repeat "until no
+further optimization could be achieved, either due to unresolved
+dependencies or resource over-utilization".
+
+:class:`IIOptimizer` reproduces that loop over our loop-nest IR:
+
+1. schedule every loop under the current directives;
+2. pick the loop with the largest latency;
+3. if it is port-limited, double the partition factor of the binding
+   array; if it has a small trip count and is not yet unrolled, unroll
+   it; if it is recurrence-limited, stop (unresolved dependency);
+4. accept the move only if the design still fits the resource budget;
+   otherwise stop (resource over-utilization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import HLSError
+from ..hls.arrays import ArraySpec
+from ..hls.directives import (
+    ArrayPartitionDirective,
+    DirectiveSet,
+    PipelineDirective,
+    UnrollDirective,
+)
+from ..hls.loops import LoopNest
+from ..hls.resources import ResourceVector, array_resources, loop_resources
+from ..hls.scheduler import LoopSchedule, schedule_loop
+
+#: Loops at or below this trip count are "small" and get fully unrolled.
+SMALL_TRIP_THRESHOLD = 8
+#: Hard cap on partition factors (routing practicality).
+MAX_PARTITION_FACTOR = 32
+
+
+@dataclass(frozen=True)
+class OptimizationStep:
+    """One accepted (or terminal) move of the DSE loop."""
+
+    iteration: int
+    target_loop: str
+    move: str
+    latency_before: int
+    latency_after: int
+    accepted: bool
+    reason: str
+
+
+@dataclass
+class IIOptimizer:
+    """Iterative II minimization over a set of loops sharing arrays."""
+
+    loops: dict[str, LoopNest]
+    arrays: dict[str, ArraySpec]
+    budget: ResourceVector
+    max_iterations: int = 64
+    history: list[OptimizationStep] = field(default_factory=list)
+
+    def _initial_directives(self) -> dict[str, DirectiveSet]:
+        """Pipeline everything; unroll small loops (the paper's openers)."""
+        out: dict[str, DirectiveSet] = {}
+        for name, loop in self.loops.items():
+            ds = DirectiveSet(pipeline=PipelineDirective(target_ii=1))
+            if loop.trip_count <= SMALL_TRIP_THRESHOLD:
+                ds.unroll = UnrollDirective(factor=loop.trip_count)
+            out[name] = ds
+        return out
+
+    def _schedules(
+        self, directives: dict[str, DirectiveSet]
+    ) -> dict[str, LoopSchedule]:
+        return {
+            name: schedule_loop(loop, directives[name], self.arrays)
+            for name, loop in self.loops.items()
+        }
+
+    def _total_resources(
+        self,
+        directives: dict[str, DirectiveSet],
+        schedules: dict[str, LoopSchedule],
+    ) -> ResourceVector:
+        total = ResourceVector()
+        for name, loop in self.loops.items():
+            total = total + loop_resources(loop, schedules[name])
+        total = total + array_resources(self.arrays, directives)
+        return total
+
+    def optimize(self) -> tuple[dict[str, DirectiveSet], dict[str, LoopSchedule]]:
+        """Run the DSE; returns the final directives and schedules."""
+        if not self.loops:
+            raise HLSError("optimizer needs at least one loop")
+        directives = self._initial_directives()
+        schedules = self._schedules(directives)
+        if not self._total_resources(directives, schedules).fits_within(
+            self.budget
+        ):
+            raise HLSError(
+                "initial (pipeline-only) design already exceeds the budget"
+            )
+
+        for iteration in range(self.max_iterations):
+            critical = max(schedules, key=lambda n: schedules[n].latency)
+            sched = schedules[critical]
+            loop = self.loops[critical]
+
+            move: str
+            trial = DirectiveSet(
+                pipeline=directives[critical].pipeline,
+                unroll=directives[critical].unroll,
+                partitions=dict(directives[critical].partitions),
+            )
+            if sched.limiting_factor.startswith("ports:"):
+                from ..hls.scheduler import port_limiting_arrays
+
+                tied = port_limiting_arrays(
+                    loop,
+                    directives[critical],
+                    self.arrays,
+                    directives[critical].effective_unroll(loop),
+                )
+                widened: list[str] = []
+                for array_name in tied:
+                    spec = self.arrays[array_name]
+                    current = trial.partition_factor(spec)
+                    new_factor = min(
+                        current * 2, spec.words, MAX_PARTITION_FACTOR
+                    )
+                    if new_factor > current:
+                        trial.partitions.pop(array_name, None)
+                        trial.partitions[array_name] = ArrayPartitionDirective(
+                            array=array_name, factor=new_factor
+                        )
+                        widened.append(f"{array_name} x{new_factor}")
+                if not widened:
+                    self.history.append(
+                        OptimizationStep(
+                            iteration,
+                            critical,
+                            "partition-saturated",
+                            sched.latency,
+                            sched.latency,
+                            False,
+                            "all limiting arrays at maximum partitioning",
+                        )
+                    )
+                    break
+                move = "partition " + ", ".join(widened)
+            elif sched.limiting_factor == "recurrence":
+                self.history.append(
+                    OptimizationStep(
+                        iteration,
+                        critical,
+                        "stop",
+                        sched.latency,
+                        sched.latency,
+                        False,
+                        "unresolved inter-iteration dependency",
+                    )
+                )
+                break
+            elif (
+                loop.trip_count <= SMALL_TRIP_THRESHOLD
+                and trial.effective_unroll(loop) < loop.trip_count
+            ):
+                trial.unroll = UnrollDirective(factor=loop.trip_count)
+                move = "unroll complete"
+            else:
+                self.history.append(
+                    OptimizationStep(
+                        iteration,
+                        critical,
+                        "stop",
+                        sched.latency,
+                        sched.latency,
+                        False,
+                        "no move available at II limit",
+                    )
+                )
+                break
+
+            trial_directives = dict(directives)
+            trial_directives[critical] = trial
+            trial_schedules = self._schedules(trial_directives)
+            resources = self._total_resources(trial_directives, trial_schedules)
+            new_latency = trial_schedules[critical].latency
+            if not resources.fits_within(self.budget):
+                self.history.append(
+                    OptimizationStep(
+                        iteration,
+                        critical,
+                        move,
+                        sched.latency,
+                        new_latency,
+                        False,
+                        "resource over-utilization",
+                    )
+                )
+                break
+            if new_latency >= sched.latency:
+                self.history.append(
+                    OptimizationStep(
+                        iteration,
+                        critical,
+                        move,
+                        sched.latency,
+                        new_latency,
+                        False,
+                        "no latency improvement",
+                    )
+                )
+                break
+            directives = trial_directives
+            schedules = trial_schedules
+            self.history.append(
+                OptimizationStep(
+                    iteration,
+                    critical,
+                    move,
+                    sched.latency,
+                    new_latency,
+                    True,
+                    "improved",
+                )
+            )
+        return directives, schedules

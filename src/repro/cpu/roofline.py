@@ -1,0 +1,64 @@
+"""Generic serialized-roofline pricing of a workload phase.
+
+Each phase executes at an *effective* compute rate and an *effective*
+memory bandwidth; its time is the **sum** of the compute and memory
+components (rather than the max), reflecting the poor overlap of
+gather-bound FEM kernels on a single core — dependency chains stall the
+core on loads instead of hiding them.
+
+Division and square root are weighted by their reciprocal-throughput
+ratio to fused add/mul ops, per Intel's published instruction tables for
+Skylake-SP class cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CalibrationError
+from ..solver.workload import OpCount
+
+#: Throughput weight of one division relative to an add/mul.
+DIV_WEIGHT = 10.0
+#: Throughput weight of one sqrt-class op relative to an add/mul.
+SPECIAL_WEIGHT = 14.0
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """Effective single-thread rates of one phase."""
+
+    name: str
+    gflops_effective: float
+    gbytes_per_s_effective: float
+
+    def __post_init__(self) -> None:
+        if self.gflops_effective <= 0:
+            raise CalibrationError(
+                f"phase {self.name!r}: gflops_effective must be positive"
+            )
+        if self.gbytes_per_s_effective <= 0:
+            raise CalibrationError(
+                f"phase {self.name!r}: bandwidth must be positive"
+            )
+
+
+def weighted_flops(ops: OpCount) -> float:
+    """Throughput-weighted flop count of a workload."""
+    return (
+        ops.adds
+        + ops.muls
+        + DIV_WEIGHT * ops.divs
+        + SPECIAL_WEIGHT * ops.specials
+    )
+
+
+def phase_time_seconds(
+    ops: OpCount, rates: RooflinePoint, bytes_per_value: int = 8
+) -> float:
+    """Serialized-roofline time of one phase."""
+    compute = weighted_flops(ops) / (rates.gflops_effective * 1e9)
+    memory = ops.dram_values * bytes_per_value / (
+        rates.gbytes_per_s_effective * 1e9
+    )
+    return compute + memory

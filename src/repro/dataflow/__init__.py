@@ -1,0 +1,44 @@
+"""Task-Level Pipelining (TLP) dataflow engine (paper Section III-B).
+
+The paper's key optimization partitions the core computation into
+sequential tasks connected by FIFO/PIPO buffers; the slowest task sets
+the pipeline's Initiation Interval (II). This package provides:
+
+- :mod:`repro.dataflow.task` / :mod:`repro.dataflow.buffer` — the IR;
+- :mod:`repro.dataflow.graph` — the task graph with the paper's validity
+  rules (Single-Producer-Single-Consumer, no buffer may bypass a task);
+- :mod:`repro.dataflow.simulator` — a cycle-level simulation with full
+  stall accounting and deadlock detection;
+- :mod:`repro.dataflow.analysis` — steady-state analysis
+  (``total = fill + II * (iterations - 1)``) verified against the
+  simulator and used to extrapolate to paper-scale meshes.
+"""
+
+from .task import Task, TaskStats
+from .buffer import Buffer, BufferKind, fifo, pipo
+from .graph import DataflowGraph
+from .simulator import DataflowSimulator, SimulationTrace
+from .analysis import (
+    theoretical_initiation_interval,
+    pipeline_fill_cycles,
+    steady_state_cycles,
+    critical_task,
+    throughput_tokens_per_cycle,
+)
+
+__all__ = [
+    "Task",
+    "TaskStats",
+    "Buffer",
+    "BufferKind",
+    "fifo",
+    "pipo",
+    "DataflowGraph",
+    "DataflowSimulator",
+    "SimulationTrace",
+    "theoretical_initiation_interval",
+    "pipeline_fill_cycles",
+    "steady_state_cycles",
+    "critical_task",
+    "throughput_tokens_per_cycle",
+]

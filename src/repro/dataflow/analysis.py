@@ -1,0 +1,103 @@
+"""Steady-state analysis of TLP pipelines.
+
+For a linear pipeline of tasks with constant latencies ``L_k`` and PIPO
+buffers, the classic dataflow result holds:
+
+- the Initiation Interval is ``II = max_k L_k`` (the paper: "the most
+  time-consuming task determin[es] the Initiation Interval");
+- the fill (first-token) latency is ``sum_k L_k`` along the critical
+  path;
+- total cycles for N iterations: ``fill + II * (N - 1)``.
+
+The cycle-level simulator verifies these formulas on small N (tested);
+experiments then use them to extrapolate to the paper's multi-million
+element meshes where cycle-by-cycle simulation would be impractical.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..errors import DataflowError
+from .graph import DataflowGraph
+
+
+def _static_latency(graph: DataflowGraph, name: str, iterations: int) -> float:
+    task = graph.tasks[name]
+    if callable(task.latency):
+        return task.mean_latency(iterations)
+    return float(task.latency)
+
+
+def theoretical_initiation_interval(
+    graph: DataflowGraph, iterations: int = 1
+) -> float:
+    """``II = max_k L_k`` (mean latency for data-dependent tasks)."""
+    if not graph.tasks:
+        raise DataflowError("graph has no tasks")
+    return max(
+        _static_latency(graph, name, iterations) for name in graph.tasks
+    )
+
+
+def critical_task(graph: DataflowGraph, iterations: int = 1) -> str:
+    """The II-determining task (ties broken by topological order)."""
+    order = graph.topological_order()
+    best = order[0]
+    best_latency = _static_latency(graph, best, iterations)
+    for name in order[1:]:
+        lat = _static_latency(graph, name, iterations)
+        if lat > best_latency:
+            best, best_latency = name, lat
+    return best
+
+
+def pipeline_fill_cycles(graph: DataflowGraph, iterations: int = 1) -> float:
+    """Latency of the first token: longest path through the task graph."""
+    digraph = graph.to_networkx()
+    order = graph.topological_order()
+    dist: dict[str, float] = {}
+    for name in order:
+        lat = _static_latency(graph, name, iterations)
+        preds = list(digraph.predecessors(name))
+        if preds:
+            dist[name] = lat + max(dist[p] for p in preds)
+        else:
+            dist[name] = lat
+    return max(dist.values())
+
+
+def steady_state_cycles(graph: DataflowGraph, iterations: int) -> float:
+    """``fill + II * (iterations - 1)`` — the analytic total."""
+    if iterations < 1:
+        raise DataflowError("iterations must be >= 1")
+    fill = pipeline_fill_cycles(graph, iterations)
+    ii = theoretical_initiation_interval(graph, iterations)
+    return fill + ii * (iterations - 1)
+
+
+def throughput_tokens_per_cycle(graph: DataflowGraph, iterations: int) -> float:
+    """Asymptotic throughput ``1 / II`` (tokens per cycle)."""
+    return 1.0 / theoretical_initiation_interval(graph, iterations)
+
+
+def sequential_cycles(graph: DataflowGraph, iterations: int) -> float:
+    """Total cycles *without* TLP: every iteration runs all tasks serially.
+
+    This is the paper's non-dataflow baseline behaviour (tasks execute
+    back-to-back per element); the TLP speedup is
+    ``sequential / steady_state``.
+    """
+    if iterations < 1:
+        raise DataflowError("iterations must be >= 1")
+    per_iteration = sum(
+        _static_latency(graph, name, iterations) for name in graph.tasks
+    )
+    return per_iteration * iterations
+
+
+def tlp_speedup(graph: DataflowGraph, iterations: int) -> float:
+    """Speedup of pipelined over sequential execution of the same tasks."""
+    return sequential_cycles(graph, iterations) / steady_state_cycles(
+        graph, iterations
+    )

@@ -1,0 +1,86 @@
+"""Inter-task buffers: FIFO and Ping-Pong (PIPO).
+
+The paper's TLP stages exchange data through either FIFOs (streaming,
+arbitrary depth) or PIPOs (two alternating banks, block-synchronized).
+For throughput modeling both reduce to a token channel with a capacity:
+a PIPO holds at most 2 outstanding blocks; a FIFO holds ``depth`` words
+(modeled at block granularity here, one token per stage iteration).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import DataflowError
+
+
+class BufferKind(enum.Enum):
+    """Implementation style of an inter-task channel."""
+
+    FIFO = "fifo"
+    PIPO = "pipo"
+
+
+@dataclass
+class Buffer:
+    """A single-producer single-consumer token channel.
+
+    Attributes
+    ----------
+    name:
+        Unique buffer name within its graph.
+    producer / consumer:
+        Task names of the two endpoints (SPSC by construction; the graph
+        validates that no second producer/consumer is attached).
+    capacity:
+        Maximum outstanding tokens (2 for a PIPO).
+    kind:
+        FIFO or PIPO.
+    """
+
+    name: str
+    producer: str
+    consumer: str
+    capacity: int = 2
+    kind: BufferKind = BufferKind.PIPO
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DataflowError("buffer name must be non-empty")
+        if self.capacity < 1:
+            raise DataflowError(
+                f"buffer {self.name!r}: capacity must be >= 1, got {self.capacity}"
+            )
+        if self.kind is BufferKind.PIPO and self.capacity != 2:
+            raise DataflowError(
+                f"buffer {self.name!r}: a PIPO has exactly 2 banks, "
+                f"got capacity {self.capacity}"
+            )
+        if self.producer == self.consumer:
+            raise DataflowError(
+                f"buffer {self.name!r}: producer and consumer must differ "
+                "(self-loops are not legal dataflow)"
+            )
+
+
+def pipo(name: str, producer: str, consumer: str) -> Buffer:
+    """A ping-pong buffer between two tasks."""
+    return Buffer(
+        name=name,
+        producer=producer,
+        consumer=consumer,
+        capacity=2,
+        kind=BufferKind.PIPO,
+    )
+
+
+def fifo(name: str, producer: str, consumer: str, depth: int = 2) -> Buffer:
+    """A FIFO of the given token depth between two tasks."""
+    return Buffer(
+        name=name,
+        producer=producer,
+        consumer=consumer,
+        capacity=depth,
+        kind=BufferKind.FIFO,
+    )

@@ -1,0 +1,172 @@
+"""The dataflow task graph and the paper's structural validity rules.
+
+Section III-B of the paper states two conditions for deadlock-free TLP:
+
+1. **Single-Producer-Single-Consumer** — every inter-task buffer has
+   exactly one producing and one consuming task;
+2. **No bypass** — buffers "do not bypass any tasks and transfer data
+   sequentially": there must be no channel from task A directly to task C
+   when another path A -> B -> C exists, because the A->C data would race
+   ahead of the pipeline.
+
+:meth:`DataflowGraph.validate` enforces both (plus acyclicity), raising
+:class:`~repro.errors.DataflowValidationError` with a precise message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from ..errors import DataflowValidationError
+from .buffer import Buffer
+from .task import Task
+
+
+@dataclass
+class DataflowGraph:
+    """A named collection of tasks wired by SPSC buffers."""
+
+    name: str
+    tasks: dict[str, Task] = field(default_factory=dict)
+    buffers: dict[str, Buffer] = field(default_factory=dict)
+
+    # -- construction ----------------------------------------------------------
+
+    def add_task(self, task: Task) -> Task:
+        """Add a task; names must be unique."""
+        if task.name in self.tasks:
+            raise DataflowValidationError(
+                f"graph {self.name!r}: duplicate task {task.name!r}"
+            )
+        self.tasks[task.name] = task
+        return task
+
+    def add_buffer(self, buffer: Buffer) -> Buffer:
+        """Add a buffer; endpoints must exist and names be unique."""
+        if buffer.name in self.buffers:
+            raise DataflowValidationError(
+                f"graph {self.name!r}: duplicate buffer {buffer.name!r}"
+            )
+        for endpoint in (buffer.producer, buffer.consumer):
+            if endpoint not in self.tasks:
+                raise DataflowValidationError(
+                    f"graph {self.name!r}: buffer {buffer.name!r} references "
+                    f"unknown task {endpoint!r}"
+                )
+        self.buffers[buffer.name] = buffer
+        return buffer
+
+    def chain(self, tasks: list[Task], buffer_prefix: str = "b") -> None:
+        """Add ``tasks`` and connect them linearly with PIPO buffers."""
+        from .buffer import pipo
+
+        for task in tasks:
+            self.add_task(task)
+        for idx in range(len(tasks) - 1):
+            self.add_buffer(
+                pipo(
+                    f"{buffer_prefix}_{tasks[idx].name}_to_{tasks[idx + 1].name}",
+                    tasks[idx].name,
+                    tasks[idx + 1].name,
+                )
+            )
+
+    # -- queries ---------------------------------------------------------------
+
+    def inputs_of(self, task_name: str) -> list[Buffer]:
+        """Buffers consumed by the task."""
+        return [b for b in self.buffers.values() if b.consumer == task_name]
+
+    def outputs_of(self, task_name: str) -> list[Buffer]:
+        """Buffers produced by the task."""
+        return [b for b in self.buffers.values() if b.producer == task_name]
+
+    def source_tasks(self) -> list[str]:
+        """Tasks with no input buffers (pipeline entry points)."""
+        return [name for name in self.tasks if not self.inputs_of(name)]
+
+    def sink_tasks(self) -> list[str]:
+        """Tasks with no output buffers (pipeline exits)."""
+        return [name for name in self.tasks if not self.outputs_of(name)]
+
+    def to_networkx(self) -> nx.DiGraph:
+        """Directed task graph (one edge per buffer, parallel edges merged)."""
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self.tasks)
+        for buf in self.buffers.values():
+            graph.add_edge(buf.producer, buf.consumer)
+        return graph
+
+    def topological_order(self) -> list[str]:
+        """Tasks in a topological order (validates acyclicity)."""
+        graph = self.to_networkx()
+        try:
+            return list(nx.topological_sort(graph))
+        except nx.NetworkXUnfeasible:
+            raise DataflowValidationError(
+                f"graph {self.name!r}: contains a cycle"
+            ) from None
+
+    # -- validation (the paper's TLP legality rules) -----------------------------
+
+    def validate(self) -> None:
+        """Check all structural rules; raise on the first violation."""
+        if not self.tasks:
+            raise DataflowValidationError(f"graph {self.name!r}: has no tasks")
+        self._validate_spsc()
+        self.topological_order()  # acyclicity
+        self._validate_no_bypass()
+
+    def _validate_spsc(self) -> None:
+        """Single-Producer-Single-Consumer per channel *pair*.
+
+        Each buffer object is SPSC by construction; here we reject two
+        different buffers carrying the same producer->consumer pair, which
+        would make the consumer a multi-reader of one logical stream.
+        """
+        seen: dict[tuple[str, str], str] = {}
+        for buf in self.buffers.values():
+            key = (buf.producer, buf.consumer)
+            if key in seen:
+                raise DataflowValidationError(
+                    f"graph {self.name!r}: buffers {seen[key]!r} and "
+                    f"{buf.name!r} duplicate the channel {key[0]!r} -> {key[1]!r}, "
+                    "violating Single-Producer-Single-Consumer"
+                )
+            seen[key] = buf.name
+
+    def _validate_no_bypass(self) -> None:
+        """Reject buffers that skip over intermediate tasks.
+
+        A buffer A -> C is a bypass when another path A -> ... -> C of
+        length >= 2 exists in the graph.
+        """
+        graph = self.to_networkx()
+        for buf in self.buffers.values():
+            graph.remove_edge(buf.producer, buf.consumer)
+            has_long_path = nx.has_path(graph, buf.producer, buf.consumer)
+            graph.add_edge(buf.producer, buf.consumer)
+            if has_long_path:
+                raise DataflowValidationError(
+                    f"graph {self.name!r}: buffer {buf.name!r} "
+                    f"({buf.producer!r} -> {buf.consumer!r}) bypasses "
+                    "intermediate tasks, violating the sequential-transfer rule"
+                )
+
+    # -- reporting ---------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Multi-line structural description used by design reports."""
+        lines = [f"dataflow graph {self.name!r}"]
+        for name in self.topological_order():
+            task = self.tasks[name]
+            ins = ", ".join(b.name for b in self.inputs_of(name)) or "-"
+            outs = ", ".join(b.name for b in self.outputs_of(name)) or "-"
+            lat = "var" if callable(task.latency) else str(task.latency)
+            lines.append(
+                f"  task {name:<28} kind={task.kind:<8} latency={lat:<8} "
+                f"in=[{ins}] out=[{outs}]"
+            )
+        return "\n".join(lines)

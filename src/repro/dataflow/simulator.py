@@ -1,0 +1,207 @@
+"""Cycle-level simulation of a TLP dataflow graph.
+
+Event-driven semantics, matching Vitis dataflow execution:
+
+- a task may *start* iteration ``i`` when every input buffer holds a
+  token and every output buffer has a free slot (the PIPO bank it will
+  write is reserved for the task's whole execution);
+- at start it pops one token per input and reserves one slot per output;
+- after its per-iteration latency it commits the reserved output tokens,
+  waking downstream consumers.
+
+Sources (tasks without input buffers) generate one token per iteration
+until the configured iteration count. The simulator records complete
+stall accounting and detects deadlock (no progress while work remains),
+which is how the validity rules of Section III-B manifest dynamically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from ..errors import DataflowError, DeadlockError
+from .graph import DataflowGraph
+from .task import TaskStats
+
+
+@dataclass
+class SimulationTrace:
+    """Result of one cycle-level run."""
+
+    graph_name: str
+    iterations: int
+    total_cycles: int
+    task_stats: dict[str, TaskStats] = field(default_factory=dict)
+
+    def stats(self, task_name: str) -> TaskStats:
+        """Stats of one task."""
+        try:
+            return self.task_stats[task_name]
+        except KeyError:
+            raise DataflowError(f"no stats for task {task_name!r}") from None
+
+    def achieved_initiation_interval(self) -> float:
+        """Measured steady-state II at the pipeline sink.
+
+        Averaged completion gap of the task that finishes last; for a
+        well-formed pipeline this converges to the slowest task's latency.
+        """
+        last = max(
+            self.task_stats.values(), key=lambda s: s.last_finish or 0
+        )
+        return last.measured_initiation_interval()
+
+    def bottleneck_task(self) -> str:
+        """Task with the largest busy share — the II-critical stage."""
+        return max(self.task_stats.values(), key=lambda s: s.busy_cycles).name
+
+    def report(self) -> str:
+        """Human-readable per-task table."""
+        lines = [
+            f"dataflow simulation of {self.graph_name!r}: "
+            f"{self.iterations} iterations in {self.total_cycles} cycles",
+            "task                           busy   in-stall  out-stall  occupancy",
+        ]
+        for name, st in self.task_stats.items():
+            lines.append(
+                f"{name:<28} {st.busy_cycles:>8} {st.input_stall_cycles:>9} "
+                f"{st.output_stall_cycles:>10} {st.occupancy:>9.3f}"
+            )
+        return "\n".join(lines)
+
+
+class DataflowSimulator:
+    """Runs a validated :class:`DataflowGraph` for N pipeline iterations."""
+
+    def __init__(self, graph: DataflowGraph) -> None:
+        graph.validate()
+        self.graph = graph
+
+    def run(self, iterations: int, max_cycles: int | None = None) -> SimulationTrace:
+        """Simulate ``iterations`` tokens through the pipeline.
+
+        ``max_cycles`` bounds runaway simulations (a safety net for
+        data-dependent latency models); exceeding it raises
+        :class:`DataflowError`.
+        """
+        if iterations < 1:
+            raise DataflowError("iterations must be >= 1")
+        graph = self.graph
+        occupancy: dict[str, int] = {name: 0 for name in graph.buffers}
+        committed: dict[str, int] = {name: 0 for name in graph.buffers}
+        started: dict[str, int] = {name: 0 for name in graph.tasks}
+        finished: dict[str, int] = {name: 0 for name in graph.tasks}
+        stats = {name: TaskStats(name=name) for name in graph.tasks}
+        busy: set[str] = set()
+        stall_since_input: dict[str, int | None] = {n: 0 for n in graph.tasks}
+        stall_since_output: dict[str, int | None] = {n: None for n in graph.tasks}
+
+        inputs = {name: graph.inputs_of(name) for name in graph.tasks}
+        outputs = {name: graph.outputs_of(name) for name in graph.tasks}
+
+        # Completion-event heap: (finish_time, seq, task_name).
+        events: list[tuple[int, int, str]] = []
+        seq = itertools.count()
+        now = 0
+
+        def can_start(name: str) -> tuple[bool, str]:
+            """Whether the task may start its next iteration; reason if not."""
+            if name in busy:
+                return False, "busy"
+            if started[name] >= iterations:
+                return False, "done"
+            for buf in inputs[name]:
+                if committed[buf.name] < 1:
+                    return False, "input"
+            for buf in outputs[name]:
+                if occupancy[buf.name] >= buf.capacity:
+                    return False, "output"
+            return True, ""
+
+        def try_start_all() -> bool:
+            """Start every startable task; True if anything started."""
+            progressed = False
+            for name in graph.topological_order():
+                ok, reason = can_start(name)
+                if ok:
+                    iteration = started[name]
+                    started[name] += 1
+                    for buf in inputs[name]:
+                        committed[buf.name] -= 1
+                        occupancy[buf.name] -= 1
+                    for buf in outputs[name]:
+                        occupancy[buf.name] += 1  # reserve the slot
+                    latency = graph.tasks[name].latency_at(iteration)
+                    finish = now + latency
+                    heapq.heappush(events, (finish, next(seq), name))
+                    busy.add(name)
+                    st = stats[name]
+                    if st.first_start is None:
+                        st.first_start = now
+                    st.busy_cycles += latency
+                    # close any open stall window
+                    if stall_since_input[name] is not None:
+                        st.input_stall_cycles += now - stall_since_input[name]
+                        stall_since_input[name] = None
+                    if stall_since_output[name] is not None:
+                        st.output_stall_cycles += now - stall_since_output[name]
+                        stall_since_output[name] = None
+                    progressed = True
+                elif reason in ("input", "output") and started[name] < iterations:
+                    key = (
+                        stall_since_input
+                        if reason == "input"
+                        else stall_since_output
+                    )
+                    if key[name] is None:
+                        key[name] = now
+            return progressed
+
+        total_needed = iterations * len(graph.tasks)
+        try_start_all()
+        while sum(finished.values()) < total_needed:
+            if not events:
+                stuck = [
+                    name
+                    for name in graph.tasks
+                    if finished[name] < iterations
+                ]
+                raise DeadlockError(
+                    f"graph {graph.name!r}: deadlock at cycle {now}; "
+                    f"stuck tasks: {', '.join(sorted(stuck))}"
+                )
+            now, _, name = heapq.heappop(events)
+            if max_cycles is not None and now > max_cycles:
+                raise DataflowError(
+                    f"graph {graph.name!r}: exceeded max_cycles={max_cycles}"
+                )
+            busy.discard(name)
+            finished[name] += 1
+            for buf in outputs[name]:
+                committed[buf.name] += 1  # commit the reserved token
+            st = stats[name]
+            st.iterations_completed += 1
+            st.last_finish = now
+            st.finish_times.append(now)
+            # Batch-process any events that complete at the same cycle so
+            # start decisions see a consistent buffer state.
+            while events and events[0][0] == now:
+                _, _, other = heapq.heappop(events)
+                busy.discard(other)
+                finished[other] += 1
+                for buf in outputs[other]:
+                    committed[buf.name] += 1
+                st2 = stats[other]
+                st2.iterations_completed += 1
+                st2.last_finish = now
+                st2.finish_times.append(now)
+            try_start_all()
+
+        return SimulationTrace(
+            graph_name=graph.name,
+            iterations=iterations,
+            total_cycles=now,
+            task_stats=stats,
+        )

@@ -1,0 +1,106 @@
+"""Tasks: the pipeline stages of the TLP model.
+
+A task consumes one token from every input buffer, occupies itself for
+its per-iteration latency, then deposits one token into every output
+buffer. Latency may be constant or iteration-dependent (data-dependent
+tasks such as a LOAD stage whose burst efficiency varies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import DataflowError
+
+LatencyModel = Callable[[int], int]
+
+
+@dataclass
+class Task:
+    """One TLP stage.
+
+    Attributes
+    ----------
+    name:
+        Unique task name within its graph.
+    latency:
+        Cycles per iteration — either a positive integer or a callable
+        mapping the iteration index to a positive integer.
+    kind:
+        Free-form role label (``load``, ``compute``, ``store``) used by
+        reports and by the memory-contention model.
+    """
+
+    name: str
+    latency: int | LatencyModel
+    kind: str = "compute"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DataflowError("task name must be non-empty")
+        if isinstance(self.latency, int) and self.latency < 1:
+            raise DataflowError(
+                f"task {self.name!r}: latency must be >= 1, got {self.latency}"
+            )
+
+    def latency_at(self, iteration: int) -> int:
+        """Latency of the given iteration."""
+        if callable(self.latency):
+            value = int(self.latency(iteration))
+        else:
+            value = int(self.latency)
+        if value < 1:
+            raise DataflowError(
+                f"task {self.name!r}: latency at iteration {iteration} "
+                f"must be >= 1, got {value}"
+            )
+        return value
+
+    def max_latency(self, iterations: int) -> int:
+        """Maximum latency over the given iteration count."""
+        if not callable(self.latency):
+            return int(self.latency)
+        return max(self.latency_at(i) for i in range(iterations))
+
+    def mean_latency(self, iterations: int) -> float:
+        """Average latency over the given iteration count."""
+        if not callable(self.latency):
+            return float(self.latency)
+        total = sum(self.latency_at(i) for i in range(iterations))
+        return total / iterations
+
+
+@dataclass
+class TaskStats:
+    """Per-task cycle accounting produced by the simulator."""
+
+    name: str
+    iterations_completed: int = 0
+    busy_cycles: int = 0
+    input_stall_cycles: int = 0
+    output_stall_cycles: int = 0
+    first_start: int | None = None
+    last_finish: int | None = None
+    finish_times: list[int] = field(default_factory=list)
+
+    @property
+    def occupancy(self) -> float:
+        """Busy fraction of the task's active window (0 when never ran)."""
+        if self.first_start is None or self.last_finish is None:
+            return 0.0
+        window = self.last_finish - self.first_start
+        if window <= 0:
+            return 1.0
+        return self.busy_cycles / window
+
+    def measured_initiation_interval(self) -> float:
+        """Average gap between consecutive completions (steady-state II)."""
+        if len(self.finish_times) < 2:
+            raise DataflowError(
+                f"task {self.name!r}: need >= 2 completions to measure II"
+            )
+        gaps = [
+            b - a for a, b in zip(self.finish_times[:-1], self.finish_times[1:])
+        ]
+        return sum(gaps) / len(gaps)

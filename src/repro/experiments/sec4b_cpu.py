@@ -1,0 +1,107 @@
+"""Section IV-B — end-to-end comparison against the server CPU.
+
+Paper: on a 4.2M-node mesh ("closely represents a real-world scenario"),
+the accelerated system reduces end-to-end execution time by **45 %**
+versus the same C++ code single-threaded on a Xeon Silver 4210.
+
+The end-to-end model: the host keeps the non-RK phases; the accelerator
+executes the RK method; PCIe adds per-step synchronization (the mesh
+arrays are device-resident, so only control and periodic solution
+readback cross the link).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..accel.cosim import design_timing
+from ..accel.designs import AcceleratorDesign, proposed_design
+from ..config import PAPER_CPU_COMPARISON_NODES
+from ..cpu.xeon import XEON_SILVER_4210, XeonSilver4210
+from ..errors import ExperimentError
+from ..fpga.pcie import PCIE_GEN3_X16, PCIeLink
+from ..solver.workload import workload_for_node_count
+
+#: Paper headline latency reduction.
+PAPER_LATENCY_REDUCTION_PERCENT = 45.0
+#: Fraction of steps whose solution is read back over PCIe (periodic
+#: snapshotting; full-field readback every 100 steps).
+READBACK_EVERY_STEPS = 100
+#: Conserved fields transferred on readback.
+READBACK_FIELDS = 5
+#: Bytes per value on the device (fp32).
+DEVICE_BYTES_PER_VALUE = 4
+
+
+@dataclass(frozen=True)
+class Sec4bCpuResult:
+    """End-to-end step times and the headline reduction."""
+
+    num_nodes: int
+    cpu_step_seconds: float
+    cpu_rk_seconds: float
+    cpu_non_rk_seconds: float
+    fpga_rk_seconds: float
+    pcie_seconds: float
+
+    @property
+    def fpga_end_to_end_seconds(self) -> float:
+        return self.cpu_non_rk_seconds + self.fpga_rk_seconds + self.pcie_seconds
+
+    @property
+    def latency_reduction_percent(self) -> float:
+        return 100.0 * (
+            1.0 - self.fpga_end_to_end_seconds / self.cpu_step_seconds
+        )
+
+    @property
+    def rk_speedup(self) -> float:
+        """Accelerator speedup on the RK region alone."""
+        return self.cpu_rk_seconds / self.fpga_rk_seconds
+
+
+def run_sec4b_cpu(
+    num_nodes: int = PAPER_CPU_COMPARISON_NODES,
+    design: AcceleratorDesign | None = None,
+    cpu: XeonSilver4210 = XEON_SILVER_4210,
+    link: PCIeLink = PCIE_GEN3_X16,
+) -> Sec4bCpuResult:
+    """Model the Section IV-B comparison at the given mesh size."""
+    if num_nodes < 1:
+        raise ExperimentError("num_nodes must be >= 1")
+    design = design if design is not None else proposed_design()
+    workload = workload_for_node_count(num_nodes)
+    cpu_phases = cpu.phase_seconds(workload)
+    cpu_total = sum(cpu_phases.values())
+    cpu_non_rk = cpu_phases["non_rk"]
+    cpu_rk = cpu_total - cpu_non_rk
+    fpga_rk = design_timing(design, num_nodes).rk_step_seconds
+    readback_bytes = (
+        num_nodes * READBACK_FIELDS * DEVICE_BYTES_PER_VALUE
+    ) / READBACK_EVERY_STEPS
+    pcie = link.transfer_seconds(readback_bytes) + link.latency_us * 1e-6
+    return Sec4bCpuResult(
+        num_nodes=num_nodes,
+        cpu_step_seconds=cpu_total,
+        cpu_rk_seconds=cpu_rk,
+        cpu_non_rk_seconds=cpu_non_rk,
+        fpga_rk_seconds=fpga_rk,
+        pcie_seconds=pcie,
+    )
+
+
+def render_sec4b_cpu(result: Sec4bCpuResult) -> str:
+    """Readable comparison summary."""
+    return "\n".join(
+        [
+            f"Section IV-B — CPU comparison at {result.num_nodes} nodes",
+            f"  CPU step (single thread)   : {result.cpu_step_seconds:8.3f} s",
+            f"    of which RK method       : {result.cpu_rk_seconds:8.3f} s",
+            f"    of which non-RK          : {result.cpu_non_rk_seconds:8.3f} s",
+            f"  FPGA RK method             : {result.fpga_rk_seconds:8.3f} s",
+            f"  PCIe per step              : {result.pcie_seconds:8.5f} s",
+            f"  FPGA end-to-end step       : {result.fpga_end_to_end_seconds:8.3f} s",
+            f"  latency reduction          : {result.latency_reduction_percent:8.1f} %"
+            f"  (paper: {PAPER_LATENCY_REDUCTION_PERCENT:.0f} %)",
+        ]
+    )

@@ -1,0 +1,74 @@
+"""Section IV-B — power comparison.
+
+Paper: the CPU averages **120.42 W**; the FPGA averages **32.4 W** for
+the core application plus **30.7 W** of peripherals and **1.7 W** for
+the rest of the system, "resulting in an average power consumption that
+is 3.64x lower than the CPU".
+
+The paper's 3.64x divides the CPU package power by the FPGA's
+application power (core + rest, excluding board peripherals):
+120.42 / 3.64 = 33.08 W ~= 32.4 + 0.7. We reproduce that accounting and
+additionally report the all-in board ratio, which a deployment study
+would use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..accel.designs import AcceleratorDesign, proposed_design
+from ..cpu.power import XEON_PACKAGE_POWER_W
+from ..fpga.power import FPGAPowerModel, PowerReport
+
+#: Paper-reported component values.
+PAPER_FPGA_CORE_W = 32.4
+PAPER_FPGA_PERIPHERALS_W = 30.7
+PAPER_FPGA_REST_W = 1.7
+PAPER_POWER_RATIO = 3.64
+
+
+@dataclass(frozen=True)
+class Sec4bPowerResult:
+    """Power split and the two comparison ratios."""
+
+    cpu_w: float
+    fpga: PowerReport
+
+    @property
+    def paper_accounting_ratio(self) -> float:
+        """CPU package / (FPGA core + rest) — the paper's 3.64x."""
+        return self.cpu_w / self.fpga.paper_accounting_w
+
+    @property
+    def all_in_ratio(self) -> float:
+        """CPU package / full FPGA board power."""
+        return self.cpu_w / self.fpga.total_w
+
+
+def run_sec4b_power(
+    design: AcceleratorDesign | None = None,
+    cpu_w: float = XEON_PACKAGE_POWER_W,
+    model: FPGAPowerModel | None = None,
+) -> Sec4bPowerResult:
+    """Evaluate the power comparison for one design point."""
+    design = design if design is not None else proposed_design()
+    return Sec4bPowerResult(cpu_w=cpu_w, fpga=design.power_report(model))
+
+
+def render_sec4b_power(result: Sec4bPowerResult) -> str:
+    """Readable power summary with the paper's reference values."""
+    return "\n".join(
+        [
+            "Section IV-B — power comparison",
+            f"  CPU package             : {result.cpu_w:7.2f} W (paper: 120.42)",
+            f"  FPGA core application   : {result.fpga.core_w:7.2f} W"
+            f" (paper: {PAPER_FPGA_CORE_W})",
+            f"  FPGA peripherals        : {result.fpga.peripherals_w:7.2f} W"
+            f" (paper: {PAPER_FPGA_PERIPHERALS_W})",
+            f"  FPGA rest of system     : {result.fpga.rest_w:7.2f} W"
+            f" (paper: {PAPER_FPGA_REST_W})",
+            f"  ratio (paper accounting): {result.paper_accounting_ratio:7.2f} x"
+            f" (paper: {PAPER_POWER_RATIO})",
+            f"  ratio (all-in board)    : {result.all_in_ratio:7.2f} x",
+        ]
+    )

@@ -1,0 +1,105 @@
+"""Global assembly: gather/scatter between nodal fields and elements.
+
+FEM couples elements only through shared nodes. The two primitives are:
+
+- :func:`gather` — LOAD-Element in Fig. 1: pull each element's node values
+  out of a global array;
+- :func:`scatter_add` — STORE-Element-Contribution: accumulate per-element
+  residuals back into the global array (direct stiffness summation).
+
+The lumped (diagonal) global mass matrix is the scatter of the element
+quadrature scales; inverting it is a pointwise division, which is what
+makes the paper's system ``K x = b`` trivially solvable on the FPGA.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FEMError
+from .geometry import ElementGeometry
+from .operators import element_mass_matrix_diagonal
+from .reference import ReferenceHex
+
+
+def gather(global_field: np.ndarray, connectivity: np.ndarray) -> np.ndarray:
+    """Element-local view of a global nodal field.
+
+    ``global_field`` is ``(N,)`` (or ``(F, N)`` for stacked fields);
+    returns ``(E, Q)`` (or ``(F, E, Q)``).
+    """
+    global_field = np.asarray(global_field)
+    if global_field.ndim == 1:
+        return global_field[connectivity]
+    if global_field.ndim == 2:
+        return global_field[:, connectivity]
+    raise FEMError(f"global_field must be 1D or 2D, got shape {global_field.shape}")
+
+
+def scatter_add(
+    element_values: np.ndarray, connectivity: np.ndarray, num_nodes: int
+) -> np.ndarray:
+    """Accumulate element-local values into a global nodal array.
+
+    Shared nodes receive the *sum* of all element contributions
+    (direct stiffness summation). Implemented with ``bincount``, which is
+    substantially faster than ``np.add.at`` for large meshes.
+    """
+    element_values = np.asarray(element_values)
+    if element_values.shape != connectivity.shape:
+        raise FEMError(
+            "element_values and connectivity shapes differ: "
+            f"{element_values.shape} vs {connectivity.shape}"
+        )
+    flat_idx = connectivity.ravel()
+    flat_val = np.ascontiguousarray(element_values, dtype=np.float64).ravel()
+    return np.bincount(flat_idx, weights=flat_val, minlength=num_nodes)
+
+
+def scatter_add_many(
+    element_values: np.ndarray, connectivity: np.ndarray, num_nodes: int
+) -> np.ndarray:
+    """Scatter several stacked fields ``(F, E, Q)`` at once to ``(F, N)``."""
+    element_values = np.asarray(element_values)
+    if element_values.ndim != 3:
+        raise FEMError(f"element_values must be (F, E, Q), got {element_values.shape}")
+    out = np.empty((element_values.shape[0], num_nodes))
+    for f_idx in range(element_values.shape[0]):
+        out[f_idx] = scatter_add(element_values[f_idx], connectivity, num_nodes)
+    return out
+
+
+def assembly_multiplicity(connectivity: np.ndarray, num_nodes: int) -> np.ndarray:
+    """How many elements touch each global node (the DSS multiplicity)."""
+    return np.bincount(connectivity.ravel(), minlength=num_nodes).astype(np.float64)
+
+
+def lumped_mass(
+    connectivity: np.ndarray,
+    num_nodes: int,
+    geom: ElementGeometry,
+    ref: ReferenceHex,
+) -> np.ndarray:
+    """Global lumped (diagonal) mass matrix, shape ``(N,)``.
+
+    Every entry is strictly positive on a valid mesh; the solver divides by
+    it to apply ``K^{-1}``.
+    """
+    diag = element_mass_matrix_diagonal(geom, ref)
+    mass = scatter_add(diag, connectivity, num_nodes)
+    if (mass <= 0.0).any():
+        raise FEMError("lumped mass has non-positive entries; mesh is degenerate")
+    return mass
+
+
+def direct_stiffness_summation(
+    element_values: np.ndarray, connectivity: np.ndarray, num_nodes: int
+) -> np.ndarray:
+    """Scatter then re-gather: make element copies of shared nodes agree.
+
+    Returns the element-local array ``(E, Q)`` whose shared-node entries
+    all hold the assembled (summed) value. This is the halo-exchange
+    analogue used when computations stay element-local.
+    """
+    assembled = scatter_add(element_values, connectivity, num_nodes)
+    return gather(assembled, connectivity)

@@ -1,0 +1,89 @@
+"""Gauss-Lobatto-Legendre (GLL) quadrature points and weights.
+
+The paper's FEM formulation evaluates the element integrals of Equation 4
+with GLL quadrature (Equation 5). Collocating the interpolation nodes with
+the GLL quadrature points makes the element mass matrix diagonal — the
+"K is a diagonal matrix" property the paper relies on — which is the
+classical spectral-element construction.
+
+The ``n``-point GLL rule on ``[-1, 1]`` uses the endpoints plus the roots
+of ``P'_{n-1}`` (derivative of the Legendre polynomial) and is exact for
+polynomials of degree ``2n - 3``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from ..errors import FEMError
+
+_NEWTON_TOL = 1e-15
+_NEWTON_MAX_ITER = 100
+
+
+def _legendre_and_derivative(n: int, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Evaluate Legendre polynomial ``P_n`` and ``P'_n`` via recurrence."""
+    x = np.asarray(x, dtype=np.float64)
+    p_prev = np.ones_like(x)
+    if n == 0:
+        return p_prev, np.zeros_like(x)
+    p_curr = x.copy()
+    for k in range(2, n + 1):
+        p_next = ((2 * k - 1) * x * p_curr - (k - 1) * p_prev) / k
+        p_prev, p_curr = p_curr, p_next
+    # Derivative from the standard identity (guard the endpoint singularity;
+    # callers never evaluate the derivative exactly at |x| = 1).
+    denom = x * x - 1.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        dp = n * (x * p_curr - p_prev) / denom
+    return p_curr, dp
+
+
+@lru_cache(maxsize=64)
+def _gll_points_weights_cached(n: int) -> tuple[tuple[float, ...], tuple[float, ...]]:
+    if n < 2:
+        raise FEMError(f"GLL rule needs at least 2 points, got {n}")
+    if n == 2:
+        return (-1.0, 1.0), (1.0, 1.0)
+
+    m = n - 1  # interior points are roots of P'_m
+    # Chebyshev-Gauss-Lobatto initial guess, then Newton on P'_m.
+    x = -np.cos(np.pi * np.arange(n) / m)
+    interior = x[1:-1].copy()
+    for _ in range(_NEWTON_MAX_ITER):
+        p_m, dp_m = _legendre_and_derivative(m, interior)
+        # Newton step for f = P'_m using the Legendre ODE:
+        # (1 - x^2) P''_m = 2 x P'_m - m (m + 1) P_m
+        # => f' = P''_m = (2 x P'_m - m (m + 1) P_m) / (1 - x^2)
+        f = dp_m
+        fprime = (2.0 * interior * dp_m - m * (m + 1) * p_m) / (1.0 - interior**2)
+        step = f / fprime
+        interior -= step
+        if np.max(np.abs(step)) < _NEWTON_TOL:
+            break
+    else:  # pragma: no cover - Newton always converges for these guesses
+        raise FEMError(f"GLL Newton iteration failed to converge for n={n}")
+
+    points = np.concatenate(([-1.0], np.sort(interior), [1.0]))
+    p_at_points, _ = _legendre_and_derivative(m, points)
+    weights = 2.0 / (m * (m + 1) * p_at_points**2)
+    return tuple(points.tolist()), tuple(weights.tolist())
+
+
+def gll_points(n: int) -> np.ndarray:
+    """The ``n`` GLL points on ``[-1, 1]``, ascending."""
+    pts, _ = _gll_points_weights_cached(n)
+    return np.array(pts, dtype=np.float64)
+
+
+def gll_weights(n: int) -> np.ndarray:
+    """The ``n`` GLL quadrature weights (sum to 2)."""
+    _, wts = _gll_points_weights_cached(n)
+    return np.array(wts, dtype=np.float64)
+
+
+def gll_points_weights(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Points and weights of the ``n``-point GLL rule on ``[-1, 1]``."""
+    return gll_points(n), gll_weights(n)

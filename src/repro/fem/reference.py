@@ -1,0 +1,93 @@
+"""The tensor-product reference hexahedron.
+
+Bundles the 1D GLL data (points, weights, differentiation matrix) and the
+3D tensor-product views used throughout the solver. All 3D arrays follow
+the lexicographic ordering of :mod:`repro.mesh.node_ordering` (x fastest).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from ..errors import FEMError
+from .gll import gll_points_weights
+from .lagrange import differentiation_matrix
+
+
+@dataclass(frozen=True)
+class ReferenceHex:
+    """Reference element ``[-1, 1]^3`` with collocated GLL nodes.
+
+    Attributes
+    ----------
+    order:
+        Polynomial order ``p``.
+    points:
+        ``(p + 1,)`` 1D GLL points.
+    weights:
+        ``(p + 1,)`` 1D GLL weights.
+    diff:
+        ``(p + 1, p + 1)`` 1D differentiation matrix.
+    """
+
+    order: int
+    points: np.ndarray = field(repr=False)
+    weights: np.ndarray = field(repr=False)
+    diff: np.ndarray = field(repr=False)
+
+    @property
+    def n1(self) -> int:
+        """Nodes per direction."""
+        return self.order + 1
+
+    @property
+    def num_nodes(self) -> int:
+        """Nodes per element, ``(p + 1)**3``."""
+        return self.n1**3
+
+    def weights_3d(self) -> np.ndarray:
+        """Tensor-product quadrature weights, shape ``(n1, n1, n1)``.
+
+        Indexed ``[iz, iy, ix]`` to match fields reshaped from the
+        lexicographic flat ordering (x fastest).
+        """
+        w = self.weights
+        return w[:, None, None] * w[None, :, None] * w[None, None, :]
+
+    def weights_flat(self) -> np.ndarray:
+        """Quadrature weights flattened to the lexicographic ordering."""
+        return self.weights_3d().ravel()
+
+    def nodes_3d(self) -> np.ndarray:
+        """Reference coordinates of all nodes, shape ``(num_nodes, 3)``.
+
+        Row ``local`` holds ``(xi, eta, zeta)`` of the node with
+        lexicographic index ``local``.
+        """
+        n1 = self.n1
+        pts = self.points
+        out = np.empty((self.num_nodes, 3))
+        idx = 0
+        for iz in range(n1):
+            for iy in range(n1):
+                for ix in range(n1):
+                    out[idx] = (pts[ix], pts[iy], pts[iz])
+                    idx += 1
+        return out
+
+
+@lru_cache(maxsize=32)
+def _reference_hex_cached(order: int) -> ReferenceHex:
+    if order < 1:
+        raise FEMError(f"polynomial order must be >= 1, got {order}")
+    pts, wts = gll_points_weights(order + 1)
+    d = differentiation_matrix(pts)
+    return ReferenceHex(order=order, points=pts, weights=wts, diff=d)
+
+
+def reference_hex(order: int) -> ReferenceHex:
+    """Cached accessor for the reference hexahedron of the given order."""
+    return _reference_hex_cached(order)

@@ -1,0 +1,159 @@
+"""AXI interfaces and the cost of off-chip access through them.
+
+The paper's Section III-C optimizations live here:
+
+- every off-chip array must be mapped to an ``m_axi`` interface (Fig. 4);
+- arrays sharing an interface **serialize** their accesses (interface
+  contention), while arrays on distinct interfaces proceed in parallel —
+  this is what the per-array assignment optimization removes;
+- the whole memory system is additionally capped by the DDR channels'
+  aggregate bandwidth.
+
+Costs are reported in kernel cycles for one *task iteration* (one
+element for RKL, one node block for RKU).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import FPGAError
+from .ddr import DDRTimings, DDR4_2400, gather_access_cycles, streaming_cycles
+
+#: Bytes of one fp32 value.
+FP32_BYTES = 4
+
+
+@dataclass(frozen=True)
+class AXIInterface:
+    """One ``m_axi`` bundle exposed by a kernel."""
+
+    name: str
+    width_bits: int = 512
+
+    def __post_init__(self) -> None:
+        if self.width_bits not in (32, 64, 128, 256, 512, 1024):
+            raise FPGAError(
+                f"interface {self.name!r}: illegal AXI width {self.width_bits}"
+            )
+
+    @property
+    def bytes_per_beat(self) -> int:
+        return self.width_bits // 8
+
+
+@dataclass(frozen=True)
+class MemoryPort:
+    """Off-chip traffic of one array during one task iteration.
+
+    Attributes
+    ----------
+    array:
+        Array (and host buffer) name.
+    pattern:
+        ``gather`` — indexed accesses through the element connectivity
+        (row-locality-limited); ``stream`` — contiguous burst.
+    accesses_per_iter:
+        Gather: number of indexed accesses; stream: ignored.
+    values_per_iter:
+        Total fp32 values moved per task iteration.
+    is_write:
+        Direction (affects the decoupling analysis, not the cycle cost).
+    """
+
+    array: str
+    pattern: str
+    values_per_iter: float
+    accesses_per_iter: float = 0.0
+    is_write: bool = False
+
+    def __post_init__(self) -> None:
+        if self.pattern not in ("gather", "stream"):
+            raise FPGAError(
+                f"port {self.array!r}: pattern must be gather|stream, "
+                f"got {self.pattern!r}"
+            )
+        if self.values_per_iter < 0 or self.accesses_per_iter < 0:
+            raise FPGAError(f"port {self.array!r}: negative traffic")
+        if self.pattern == "gather" and self.accesses_per_iter <= 0:
+            raise FPGAError(
+                f"port {self.array!r}: gather ports need accesses_per_iter"
+            )
+
+
+def burst_cycles(
+    values: float,
+    timings: DDRTimings = DDR4_2400,
+) -> float:
+    """Cycles for one contiguous burst of fp32 values."""
+    return streaming_cycles(values * FP32_BYTES, timings)
+
+
+def gather_cycles(
+    port: MemoryPort,
+    num_nodes: int,
+    timings: DDRTimings = DDR4_2400,
+) -> float:
+    """Cycles for one task iteration of one port (exclusive interface)."""
+    if port.pattern == "stream":
+        return burst_cycles(port.values_per_iter, timings)
+    return port.accesses_per_iter * gather_access_cycles(num_nodes, timings)
+
+
+def interface_cycles(
+    ports: list[MemoryPort],
+    num_nodes: int,
+    timings: DDRTimings = DDR4_2400,
+) -> float:
+    """Serialized cycles of all ports sharing one interface.
+
+    Interface contention "would otherwise force the memory accesses to
+    occur sequentially" (Section III-C) — modeled as the plain sum.
+    """
+    return sum(gather_cycles(port, num_nodes, timings) for port in ports)
+
+
+def task_memory_cycles(
+    assignment: dict[str, list[MemoryPort]],
+    num_nodes: int,
+    timings: DDRTimings = DDR4_2400,
+    num_ddr_channels: int = 4,
+) -> float:
+    """Memory cycles of one task iteration under an interface assignment.
+
+    Interfaces operate in parallel (the paper's optimization), so the
+    iteration takes the *slowest* interface's cycles — subject to the
+    aggregate DDR bandwidth floor across all channels.
+    """
+    if not assignment:
+        return 0.0
+    slowest = max(
+        interface_cycles(ports, num_nodes, timings)
+        for ports in assignment.values()
+    )
+    total_bytes = sum(
+        port.values_per_iter * FP32_BYTES
+        for ports in assignment.values()
+        for port in ports
+    )
+    bandwidth_floor = total_bytes / (timings.bytes_per_cycle * num_ddr_channels)
+    return max(slowest, bandwidth_floor)
+
+
+def update_loop_ii(
+    decoupled: bool,
+    read_latency_cycles: int = 8,
+) -> int:
+    """II of an ``x[i] <- f(x[i], y[i])`` update loop (Section III-C).
+
+    With a single AXI interface serving both the read and the write of
+    ``x``, the write of iteration ``i`` must retire before the read of
+    ``i+1`` can issue on the same interface — an inter-iteration
+    dependency of roughly the interface round-trip. Decoupling the load
+    and store onto separate interfaces removes the dependency and lets
+    the loop pipeline at II = 1.
+    """
+    if read_latency_cycles < 1:
+        raise FPGAError("read_latency_cycles must be >= 1")
+    return 1 if decoupled else 1 + read_latency_cycles

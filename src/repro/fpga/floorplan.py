@@ -1,0 +1,184 @@
+"""Kernel-to-SLR floorplanning and the congestion -> fmax model.
+
+The paper attributes the Vitis baseline's 100 MHz clock (vs the proposed
+150 MHz) to "both the RKL and RKU modules being mapped onto the same SLR,
+which caused significant routing congestion and restricted the maximum
+clock speed". This module reproduces that mechanism:
+
+- kernels are placed onto SLRs (respecting DDR-attachment affinity);
+- each SLR's *pressure* is its worst per-resource utilization including
+  the static shell overhead;
+- the achievable clock derates linearly with the most congested SLR's
+  pressure, then quantizes down to the shell's 25 MHz clock steps —
+  yielding 150 MHz for the split design and 100 MHz for the packed one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import FloorplanError
+from ..hls.resources import ResourceVector
+from .device import FPGADevice, SLR
+
+#: Shell/static-region overhead charged to every SLR (XDMA, clocking,
+#: AXI firewall). Fractions of the SLR's own resources.
+SHELL_OVERHEAD_FRACTION = 0.08
+
+#: Routing-pressure surcharge for each *additional* kernel packed into
+#: one SLR: a second kernel brings its own AXI interconnect trunk and
+#: control crossings, multiplying routing demand beyond its plain
+#: resource fill. This is the mechanism behind the paper's observation
+#: that placing RKL and RKU together "caused significant routing
+#: congestion and restricted the maximum clock speed" to 100 MHz.
+KERNEL_PACKING_PENALTY = 0.45
+
+#: Linear congestion derating: fmax = CLOCK_BASE - CLOCK_SLOPE * pressure,
+#: with pressure the worst per-resource utilization fraction of the most
+#: congested SLR. Calibrated against the paper's observed 150 / 100 MHz
+#: operating points (see tests/fpga/test_floorplan.py).
+CLOCK_BASE_MHZ = 220.0
+CLOCK_SLOPE_MHZ = 160.0
+CLOCK_FLOOR_MHZ = 60.0
+CLOCK_QUANTUM_MHZ = 25.0
+
+
+@dataclass(frozen=True)
+class KernelPlacement:
+    """One kernel's resource demand and placement constraints."""
+
+    kernel: str
+    resources: ResourceVector
+    needs_ddr_attach: bool = False
+    slr: str | None = None  # fixed assignment when set
+
+
+@dataclass
+class Floorplan:
+    """A complete placement of kernels onto SLRs."""
+
+    device: FPGADevice
+    assignments: dict[str, str] = field(default_factory=dict)  # kernel -> SLR
+    demands: dict[str, ResourceVector] = field(default_factory=dict)
+
+    def slr_load(self, slr_name: str) -> ResourceVector:
+        """Total kernel resources placed on one SLR."""
+        total = ResourceVector()
+        for kernel, where in self.assignments.items():
+            if where == slr_name:
+                total = total + self.demands[kernel]
+        return total
+
+    def slr_pressure(self, slr_name: str) -> float:
+        """Routing pressure of one SLR.
+
+        Worst per-resource utilization fraction, plus the static shell
+        overhead, plus the packing penalty for every kernel beyond the
+        first sharing the region.
+        """
+        slr = self.device.slr_by_name(slr_name)
+        load = self.slr_load(slr_name)
+        res = slr.resources
+        # Routing pressure tracks the *logic fabric* (LUT/FF/DSP): block
+        # memories sit in dedicated columns with their own interconnect
+        # and contribute little to global routing congestion.
+        fractions = (
+            load.lut / res.lut,
+            load.ff / res.ff,
+            load.dsp / res.dsp,
+        )
+        kernels_here = sum(
+            1 for where in self.assignments.values() if where == slr_name
+        )
+        packing = KERNEL_PACKING_PENALTY * max(0, kernels_here - 1)
+        return max(fractions) + SHELL_OVERHEAD_FRACTION + packing
+
+    def max_pressure(self) -> float:
+        """Pressure of the most congested SLR."""
+        used = {slr for slr in self.assignments.values()}
+        if not used:
+            raise FloorplanError("floorplan has no placed kernels")
+        return max(self.slr_pressure(s) for s in used)
+
+    def crossings(self, kernel: str) -> int:
+        """SLL boundaries between the kernel's SLR and the nearest
+        DDR-attached SLR (0 when directly attached)."""
+        where = self.assignments.get(kernel)
+        if where is None:
+            raise FloorplanError(f"kernel {kernel!r} is not placed")
+        names = [s.name for s in self.device.slrs]
+        idx = names.index(where)
+        ddr_idxs = [
+            i for i, s in enumerate(self.device.slrs) if s.has_ddr_attach
+        ]
+        return min(abs(idx - d) for d in ddr_idxs)
+
+    def validate(self) -> None:
+        """Check capacity on every SLR."""
+        for slr in self.device.slrs:
+            load = self.slr_load(slr.name)
+            budget = slr.resources.scaled(1.0 - SHELL_OVERHEAD_FRACTION)
+            if not load.fits_within(budget):
+                raise FloorplanError(
+                    f"SLR {slr.name!r} over capacity: kernel demand exceeds "
+                    f"{100 * (1 - SHELL_OVERHEAD_FRACTION):.0f}% of the SLR"
+                )
+
+
+def achievable_clock_mhz(pressure: float, device_ceiling_mhz: float) -> float:
+    """Congestion-derated, quantized kernel clock for a given pressure."""
+    if pressure < 0:
+        raise FloorplanError("pressure must be >= 0")
+    raw = CLOCK_BASE_MHZ - CLOCK_SLOPE_MHZ * pressure
+    raw = min(raw, device_ceiling_mhz)
+    raw = max(raw, CLOCK_FLOOR_MHZ)
+    return math.floor(raw / CLOCK_QUANTUM_MHZ) * CLOCK_QUANTUM_MHZ
+
+
+def plan_floorplan(
+    device: FPGADevice, placements: list[KernelPlacement]
+) -> Floorplan:
+    """Place kernels onto SLRs.
+
+    Fixed assignments are honored; remaining kernels go greedily to the
+    least-pressured legal SLR (DDR affinity first). Raises
+    :class:`FloorplanError` when a kernel cannot be placed.
+    """
+    plan = Floorplan(device=device)
+    for p in placements:
+        plan.demands[p.kernel] = p.resources
+    # Fixed placements first.
+    for p in placements:
+        if p.slr is not None:
+            slr = device.slr_by_name(p.slr)
+            if p.needs_ddr_attach and not slr.has_ddr_attach:
+                raise FloorplanError(
+                    f"kernel {p.kernel!r} needs DDR attach but SLR "
+                    f"{p.slr!r} has none"
+                )
+            plan.assignments[p.kernel] = p.slr
+    # Greedy for the rest.
+    for p in placements:
+        if p.kernel in plan.assignments:
+            continue
+        candidates: list[SLR] = [
+            s
+            for s in device.slrs
+            if (s.has_ddr_attach or not p.needs_ddr_attach)
+        ]
+        if not candidates:
+            raise FloorplanError(
+                f"no SLR satisfies the constraints of kernel {p.kernel!r}"
+            )
+        best = min(candidates, key=lambda s: plan.slr_pressure(s.name))
+        plan.assignments[p.kernel] = best.name
+    plan.validate()
+    return plan
+
+
+def clock_for_floorplan(plan: Floorplan) -> float:
+    """Achievable kernel clock (MHz) of a validated floorplan."""
+    return achievable_clock_mhz(
+        plan.max_pressure(), plan.device.max_kernel_clock_mhz
+    )

@@ -1,0 +1,43 @@
+"""PCIe host link model.
+
+The host CPU "transfer[s] the necessary data via PCIe to the off-chip
+memory of the target FPGA" (Section III-A). Mesh arrays are resident on
+the device for the whole simulation; per-step traffic is limited to
+control and (periodically) solution readback, which the end-to-end
+comparison (Section IV-B) must include.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import FPGAError
+
+
+@dataclass(frozen=True)
+class PCIeLink:
+    """An x16-class host link."""
+
+    name: str
+    effective_gb_per_s: float
+    latency_us: float = 5.0  # per-transfer kickoff latency
+
+    def __post_init__(self) -> None:
+        if self.effective_gb_per_s <= 0:
+            raise FPGAError("link bandwidth must be positive")
+        if self.latency_us < 0:
+            raise FPGAError("link latency must be >= 0")
+
+    def transfer_seconds(self, num_bytes: float) -> float:
+        """Wall-clock seconds to move ``num_bytes`` one way."""
+        if num_bytes < 0:
+            raise FPGAError("num_bytes must be >= 0")
+        if num_bytes == 0:
+            return 0.0
+        return self.latency_us * 1e-6 + num_bytes / (
+            self.effective_gb_per_s * 1e9
+        )
+
+
+#: Gen3 x16 with typical DMA efficiency (~12 GB/s of the 15.75 GB/s raw).
+PCIE_GEN3_X16 = PCIeLink(name="pcie-gen3-x16", effective_gb_per_s=12.0)

@@ -1,0 +1,53 @@
+"""HLS scheduling / binding / resource model (paper Section III-D).
+
+Models the part of Vitis HLS the paper's optimizations act on:
+
+- :mod:`repro.hls.ops` — fp32 operator latency/resource characterization;
+- :mod:`repro.hls.loops` — a loop-nest IR with op counts, on-chip array
+  accesses, and loop-carried recurrences;
+- :mod:`repro.hls.directives` — pipeline / unroll / array_partition
+  directives and directive sets (including the Vitis auto-optimization
+  defaults the paper compares against);
+- :mod:`repro.hls.arrays` — on-chip arrays and their BRAM/URAM binding;
+- :mod:`repro.hls.scheduler` — II and latency estimation under
+  directives (recurrence-, port- and target-limited II);
+- :mod:`repro.hls.resources` — resource aggregation to a
+  :class:`ResourceVector`;
+- :mod:`repro.hls.report` — Vitis-style synthesis report text.
+"""
+
+from .ops import OpSpec, OP_TABLE, op_spec
+from .loops import ArrayAccess, LoopNest
+from .arrays import ArraySpec, MemoryBinding, bind_array
+from .directives import (
+    PipelineDirective,
+    UnrollDirective,
+    ArrayPartitionDirective,
+    DirectiveSet,
+    vitis_default_directives,
+)
+from .scheduler import LoopSchedule, schedule_loop
+from .resources import ResourceVector, loop_resources, array_resources
+from .report import synthesis_report
+
+__all__ = [
+    "OpSpec",
+    "OP_TABLE",
+    "op_spec",
+    "ArrayAccess",
+    "LoopNest",
+    "ArraySpec",
+    "MemoryBinding",
+    "bind_array",
+    "PipelineDirective",
+    "UnrollDirective",
+    "ArrayPartitionDirective",
+    "DirectiveSet",
+    "vitis_default_directives",
+    "LoopSchedule",
+    "schedule_loop",
+    "ResourceVector",
+    "loop_resources",
+    "array_resources",
+    "synthesis_report",
+]

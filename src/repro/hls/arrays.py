@@ -1,0 +1,144 @@
+"""On-chip arrays and their BRAM/URAM binding.
+
+The paper stores "small matrices ... in the 32KB BRAMs and larger
+matrices that surpass BRAM capacity ... in the 288KB URAMs"
+(Section III-D). This module reproduces that binding decision and the
+bank math that array partitioning implies:
+
+- a partition of factor ``f`` splits the array into ``f`` independent
+  banks, each with its own ports (2 per bank, true-dual-port);
+- each bank occupies at least one physical memory primitive, so heavy
+  partitioning of small arrays inflates BRAM counts — the reason Table I
+  shows the optimized design using ~1.9x the BRAM of the Vitis baseline.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from ..errors import HLSError
+
+#: Capacity of one BRAM36 primitive in bits (36 Kib).
+BRAM36_BITS = 36 * 1024
+#: Capacity of one URAM primitive in bits (288 Kib).
+URAM_BITS = 288 * 1024
+#: Default width of the accelerator's datapath values (fp32).
+DEFAULT_WIDTH_BITS = 32
+#: Arrays at or below this many bits default to BRAM; larger go to URAM.
+BRAM_CAPACITY_THRESHOLD_BITS = 8 * BRAM36_BITS
+
+
+class MemoryKind(enum.Enum):
+    """Physical memory primitive classes."""
+
+    BRAM = "bram"
+    URAM = "uram"
+    LUTRAM = "lutram"
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """One on-chip array of an HLS kernel."""
+
+    name: str
+    words: int
+    width_bits: int = DEFAULT_WIDTH_BITS
+    partition_factor: int = 1
+    kind: MemoryKind | None = None  # None = automatic binding
+
+    def __post_init__(self) -> None:
+        if self.words < 1:
+            raise HLSError(f"array {self.name!r}: words must be >= 1")
+        if self.width_bits < 1:
+            raise HLSError(f"array {self.name!r}: width_bits must be >= 1")
+        if self.partition_factor < 1:
+            raise HLSError(
+                f"array {self.name!r}: partition_factor must be >= 1"
+            )
+        if self.partition_factor > self.words:
+            raise HLSError(
+                f"array {self.name!r}: partition factor {self.partition_factor} "
+                f"exceeds {self.words} words"
+            )
+
+    @property
+    def total_bits(self) -> int:
+        return self.words * self.width_bits
+
+    @property
+    def ports(self) -> int:
+        """Concurrent accesses per cycle: 2 per bank (true dual port)."""
+        return 2 * self.partition_factor
+
+    def with_partition(self, factor: int) -> "ArraySpec":
+        """Copy with a new partition factor."""
+        return ArraySpec(
+            name=self.name,
+            words=self.words,
+            width_bits=self.width_bits,
+            partition_factor=factor,
+            kind=self.kind,
+        )
+
+
+@dataclass(frozen=True)
+class MemoryBinding:
+    """Physical placement of one array."""
+
+    array: str
+    kind: MemoryKind
+    banks: int
+    bram36: int
+    uram: int
+    lut: int  # LUTRAM cost when applicable
+
+
+def bind_array(spec: ArraySpec) -> MemoryBinding:
+    """Bind an array to physical memories (Vitis-like policy).
+
+    Automatic policy: tiny arrays (<= 1024 bits per bank) go to LUTRAM;
+    arrays up to ``BRAM_CAPACITY_THRESHOLD_BITS`` to BRAM; larger to
+    URAM (the paper's explicit large-matrix placement). Each of the
+    ``partition_factor`` banks occupies an integral number of primitives.
+    """
+    banks = spec.partition_factor
+    bits_per_bank = math.ceil(spec.total_bits / banks)
+    kind = spec.kind
+    # Heavy partitioning shrinks banks below the point where a block RAM
+    # makes sense; Vitis then binds registers/LUTRAM regardless of any
+    # requested storage class (complete partitioning always does this).
+    if bits_per_bank <= 1024:
+        kind = MemoryKind.LUTRAM
+    elif kind is None:
+        if spec.total_bits <= BRAM_CAPACITY_THRESHOLD_BITS:
+            kind = MemoryKind.BRAM
+        else:
+            kind = MemoryKind.URAM
+
+    if kind is MemoryKind.LUTRAM:
+        # ~1 LUT per 64 bits (SLICEM), plus addressing glue.
+        lut = banks * max(8, math.ceil(bits_per_bank / 64) + 4)
+        return MemoryBinding(
+            array=spec.name, kind=kind, banks=banks, bram36=0, uram=0, lut=lut
+        )
+    if kind is MemoryKind.BRAM:
+        per_bank = max(1, math.ceil(bits_per_bank / BRAM36_BITS))
+        return MemoryBinding(
+            array=spec.name,
+            kind=kind,
+            banks=banks,
+            bram36=banks * per_bank,
+            uram=0,
+            lut=0,
+        )
+    per_bank = max(1, math.ceil(bits_per_bank / URAM_BITS))
+    return MemoryBinding(
+        array=spec.name,
+        kind=kind,
+        banks=banks,
+        bram36=0,
+        uram=banks * per_bank,
+        lut=0,
+    )

@@ -1,0 +1,126 @@
+"""HLS optimization directives (paper Section III-D).
+
+Three directive classes drive the paper's intra-task optimization:
+loop **pipelining**, loop **unrolling**, and **array partitioning**.
+A :class:`DirectiveSet` bundles the directives applied to one loop plus
+the partition factors of the arrays it touches.
+
+:func:`vitis_default_directives` reproduces the Vitis-HLS automatic
+strategy the paper benchmarks against (Section IV-A):
+
+- ``config_compile -pipeline_loops``: pipeline innermost loops
+  automatically;
+- ``config_unroll -tripcount_threshold``: fully unroll loops whose trip
+  count falls below a small threshold;
+- ``config_array_partition -complete_threshold``: completely partition
+  small arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import DirectiveError
+from .arrays import ArraySpec
+from .loops import LoopNest
+
+#: Default Vitis thresholds (UG1399 2021.1 defaults).
+VITIS_UNROLL_TRIPCOUNT_THRESHOLD = 16
+VITIS_PARTITION_COMPLETE_THRESHOLD = 64
+
+
+@dataclass(frozen=True)
+class PipelineDirective:
+    """``#pragma HLS pipeline II=<target>``."""
+
+    target_ii: int = 1
+
+    def __post_init__(self) -> None:
+        if self.target_ii < 1:
+            raise DirectiveError(f"pipeline target II must be >= 1, got {self.target_ii}")
+
+
+@dataclass(frozen=True)
+class UnrollDirective:
+    """``#pragma HLS unroll factor=<factor>`` (complete when factor == trip)."""
+
+    factor: int
+
+    def __post_init__(self) -> None:
+        if self.factor < 1:
+            raise DirectiveError(f"unroll factor must be >= 1, got {self.factor}")
+
+
+@dataclass(frozen=True)
+class ArrayPartitionDirective:
+    """``#pragma HLS array_partition variable=<array> factor=<factor>``."""
+
+    array: str
+    factor: int
+    complete: bool = False
+
+    def __post_init__(self) -> None:
+        if self.factor < 1:
+            raise DirectiveError(
+                f"partition factor must be >= 1, got {self.factor}"
+            )
+
+
+@dataclass
+class DirectiveSet:
+    """All directives applied to one loop."""
+
+    pipeline: PipelineDirective | None = None
+    unroll: UnrollDirective | None = None
+    partitions: dict[str, ArrayPartitionDirective] = field(default_factory=dict)
+
+    def add_partition(self, directive: ArrayPartitionDirective) -> None:
+        """Register an array-partition directive (one per array)."""
+        if directive.array in self.partitions:
+            raise DirectiveError(
+                f"array {directive.array!r} already has a partition directive"
+            )
+        self.partitions[directive.array] = directive
+
+    def partition_factor(self, array: ArraySpec) -> int:
+        """Effective partition factor of ``array`` under this set."""
+        directive = self.partitions.get(array.name)
+        if directive is None:
+            return array.partition_factor
+        if directive.complete:
+            return array.words
+        return min(directive.factor, array.words)
+
+    def effective_unroll(self, loop: LoopNest) -> int:
+        """Unroll factor clamped to the trip count."""
+        if self.unroll is None:
+            return 1
+        return min(self.unroll.factor, loop.trip_count)
+
+
+def vitis_default_directives(
+    loop: LoopNest,
+    arrays: dict[str, ArraySpec],
+    unroll_threshold: int = VITIS_UNROLL_TRIPCOUNT_THRESHOLD,
+    partition_threshold: int = VITIS_PARTITION_COMPLETE_THRESHOLD,
+) -> DirectiveSet:
+    """The Vitis automatic optimization strategy for one loop.
+
+    Pipelines every loop; completely unrolls small-trip-count loops;
+    completely partitions small arrays. Larger arrays and loops keep
+    their defaults — which is precisely why the Vitis baseline remains
+    port-limited on the FEM kernels (their arrays exceed the complete
+    partitioning threshold).
+    """
+    directives = DirectiveSet(pipeline=PipelineDirective(target_ii=1))
+    if loop.trip_count <= unroll_threshold:
+        directives.unroll = UnrollDirective(factor=loop.trip_count)
+    for access in loop.accesses:
+        spec = arrays.get(access.array)
+        if spec is not None and spec.words <= partition_threshold:
+            directives.add_partition(
+                ArrayPartitionDirective(
+                    array=spec.name, factor=spec.words, complete=True
+                )
+            )
+    return directives

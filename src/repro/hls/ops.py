@@ -1,0 +1,70 @@
+"""Floating-point operator characterization for the HLS model.
+
+Latencies and resource costs of single-precision operators on an
+UltraScale+ fabric, as instantiated by Vitis HLS with its default
+(``full_dsp``) bindings in the 150-300 MHz range. Values follow the
+publicly documented Xilinx Floating-Point Operator characterization
+(PG060) and the LogiCORE DSP48E2 usage tables; they need only be
+*relatively* correct for the model's purposes (resource ratios and
+pipeline depths), and the Table I experiment checks the aggregate
+against the paper's post-P&R utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import HLSError
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Latency and per-instance resource cost of one operator class."""
+
+    name: str
+    latency: int  # pipeline depth in cycles
+    dsp: int
+    lut: int
+    ff: int
+
+    def __post_init__(self) -> None:
+        if self.latency < 1:
+            raise HLSError(f"op {self.name!r}: latency must be >= 1")
+        if min(self.dsp, self.lut, self.ff) < 0:
+            raise HLSError(f"op {self.name!r}: resource costs must be >= 0")
+
+
+#: fp32 operator table (fully pipelined units, II = 1 each).
+OP_TABLE: dict[str, OpSpec] = {
+    # fadd/fsub: 2 DSP48E2 in full_dsp mode.
+    "fadd": OpSpec(name="fadd", latency=7, dsp=2, lut=214, ff=324),
+    # fmul: 3 DSP48E2.
+    "fmul": OpSpec(name="fmul", latency=4, dsp=3, lut=135, ff=256),
+    # fdiv: LUT-based (no DSP), long latency.
+    "fdiv": OpSpec(name="fdiv", latency=16, dsp=0, lut=755, ff=1446),
+    # fsqrt: LUT-based.
+    "fsqrt": OpSpec(name="fsqrt", latency=16, dsp=0, lut=456, ff=810),
+    # fcmp/select and light glue logic.
+    "fcmp": OpSpec(name="fcmp", latency=2, dsp=0, lut=66, ff=98),
+    # integer address arithmetic / loop control per iteration.
+    "int": OpSpec(name="int", latency=1, dsp=0, lut=32, ff=40),
+    # on-chip memory port access (BRAM/URAM read or write).
+    "mem": OpSpec(name="mem", latency=2, dsp=0, lut=12, ff=18),
+}
+
+
+def op_spec(name: str) -> OpSpec:
+    """Look up an operator class."""
+    try:
+        return OP_TABLE[name]
+    except KeyError:
+        known = ", ".join(sorted(OP_TABLE))
+        raise HLSError(f"unknown op {name!r}; known: {known}") from None
+
+
+def validate_op_counts(ops: dict[str, float]) -> None:
+    """Raise unless every key names a known op and counts are >= 0."""
+    for name, count in ops.items():
+        op_spec(name)
+        if count < 0:
+            raise HLSError(f"op {name!r}: negative count {count}")

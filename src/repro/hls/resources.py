@@ -1,0 +1,130 @@
+"""Resource estimation: loops + arrays -> LUT/FF/BRAM/URAM/DSP vectors.
+
+The binding model follows Vitis behaviour at the granularity the paper
+reasons about:
+
+- a pipelined loop at initiation interval II must issue
+  ``ops_per_iter / II`` operations of each class per cycle, so it
+  instantiates ``ceil(ops_per_iter * unroll / II)`` functional units of
+  that class;
+- a non-pipelined loop time-shares a single unit per class;
+- arrays cost physical BRAM/URAM primitives per partition bank (see
+  :mod:`repro.hls.arrays`);
+- every kernel pays a fixed infrastructure cost (AXI adapters, control
+  FSM) per AXI interface.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import HLSError
+from .arrays import ArraySpec, bind_array
+from .directives import DirectiveSet
+from .loops import LoopNest
+from .ops import op_spec
+from .scheduler import LoopSchedule
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """Absolute resource counts (not percentages)."""
+
+    lut: float = 0.0
+    ff: float = 0.0
+    bram36: float = 0.0
+    uram: float = 0.0
+    dsp: float = 0.0
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            lut=self.lut + other.lut,
+            ff=self.ff + other.ff,
+            bram36=self.bram36 + other.bram36,
+            uram=self.uram + other.uram,
+            dsp=self.dsp + other.dsp,
+        )
+
+    def scaled(self, factor: float) -> "ResourceVector":
+        return ResourceVector(
+            lut=self.lut * factor,
+            ff=self.ff * factor,
+            bram36=self.bram36 * factor,
+            uram=self.uram * factor,
+            dsp=self.dsp * factor,
+        )
+
+    def fits_within(self, budget: "ResourceVector") -> bool:
+        """True when every component is within the budget."""
+        return (
+            self.lut <= budget.lut
+            and self.ff <= budget.ff
+            and self.bram36 <= budget.bram36
+            and self.uram <= budget.uram
+            and self.dsp <= budget.dsp
+        )
+
+    def utilization_of(self, total: "ResourceVector") -> dict[str, float]:
+        """Percentage utilization against device totals."""
+        if min(total.lut, total.ff, total.bram36, total.uram, total.dsp) <= 0:
+            raise HLSError("device totals must be positive")
+        return {
+            "FF": 100.0 * self.ff / total.ff,
+            "LUT": 100.0 * self.lut / total.lut,
+            "BRAM": 100.0 * self.bram36 / total.bram36,
+            "URAM": 100.0 * self.uram / total.uram,
+            "DSP": 100.0 * self.dsp / total.dsp,
+        }
+
+
+#: Fixed per-AXI-interface infrastructure (adapter + read/write FSMs).
+AXI_ADAPTER_COST = ResourceVector(lut=4200, ff=6800, bram36=4.0)
+#: Fixed per-kernel control cost (s_axilite, control FSM, DMA glue).
+KERNEL_CONTROL_COST = ResourceVector(lut=9000, ff=14000, bram36=2.0)
+
+
+def loop_resources(
+    loop: LoopNest, schedule: LoopSchedule
+) -> ResourceVector:
+    """Functional-unit cost of one scheduled loop."""
+    total = ResourceVector()
+    for name, per_iter in loop.ops_per_iter.items():
+        if per_iter <= 0:
+            continue
+        spec = op_spec(name)
+        if schedule.pipelined:
+            units = math.ceil(per_iter * schedule.unroll_factor / schedule.achieved_ii)
+        else:
+            units = max(1, schedule.unroll_factor)
+        total = total + ResourceVector(
+            lut=spec.lut, ff=spec.ff, dsp=spec.dsp
+        ).scaled(units)
+    return total
+
+
+def array_resources(
+    arrays: dict[str, ArraySpec], directives_by_loop: dict[str, DirectiveSet]
+) -> ResourceVector:
+    """Memory cost of all on-chip arrays under the applied partitions.
+
+    An array partitioned by several loops' directives takes the largest
+    requested factor (Vitis merges partition pragmas that way).
+    """
+    total = ResourceVector()
+    for spec in arrays.values():
+        factor = spec.partition_factor
+        for directives in directives_by_loop.values():
+            factor = max(factor, directives.partition_factor(spec))
+        binding = bind_array(spec.with_partition(factor))
+        total = total + ResourceVector(
+            lut=binding.lut, bram36=binding.bram36, uram=binding.uram
+        )
+    return total
+
+
+def interface_resources(num_axi_interfaces: int) -> ResourceVector:
+    """Infrastructure cost of a kernel's AXI interfaces."""
+    if num_axi_interfaces < 0:
+        raise HLSError("interface count must be >= 0")
+    return KERNEL_CONTROL_COST + AXI_ADAPTER_COST.scaled(num_axi_interfaces)

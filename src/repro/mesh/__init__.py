@@ -1,0 +1,55 @@
+"""Unstructured-capable hexahedral mesh substrate.
+
+The paper's solver operates on FEM meshes of hexahedral spectral elements
+(the Taylor-Green Vortex case uses a periodic box). This package provides:
+
+- :mod:`repro.mesh.node_ordering` — local GLL node numbering inside a hex;
+- :mod:`repro.mesh.hexmesh` — the :class:`HexMesh` container and structured
+  periodic / non-periodic box generators;
+- :mod:`repro.mesh.connectivity` — adjacency and gather/scatter index maps;
+- :mod:`repro.mesh.metrics` — element size, volume, and quality metrics;
+- :mod:`repro.mesh.boundary` — boundary tagging and periodic image maps;
+- :mod:`repro.mesh.partition` — element batching for streamed processing;
+- :mod:`repro.mesh.io` — lossless save/load of meshes.
+"""
+
+from .hexmesh import HexMesh, periodic_box_mesh, box_mesh, channel_mesh
+from .node_ordering import local_node_index, local_node_triplet, corner_local_indices
+from .connectivity import (
+    build_node_to_elements,
+    element_adjacency,
+    shared_node_counts,
+)
+from .metrics import (
+    element_volumes,
+    element_min_spacing,
+    mesh_quality_report,
+    MeshQualityReport,
+)
+from .boundary import BoundaryTag, tag_box_boundaries, periodic_image_map
+from .partition import partition_elements_contiguous, partition_elements_balanced
+from .io import save_mesh, load_mesh
+
+__all__ = [
+    "HexMesh",
+    "periodic_box_mesh",
+    "box_mesh",
+    "channel_mesh",
+    "local_node_index",
+    "local_node_triplet",
+    "corner_local_indices",
+    "build_node_to_elements",
+    "element_adjacency",
+    "shared_node_counts",
+    "element_volumes",
+    "element_min_spacing",
+    "mesh_quality_report",
+    "MeshQualityReport",
+    "BoundaryTag",
+    "tag_box_boundaries",
+    "periodic_image_map",
+    "partition_elements_contiguous",
+    "partition_elements_balanced",
+    "save_mesh",
+    "load_mesh",
+]

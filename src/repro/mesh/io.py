@@ -1,0 +1,69 @@
+"""Lossless mesh persistence (numpy ``.npz`` container).
+
+Kept deliberately simple: one compressed archive holding the four arrays
+plus scalar metadata. Round-trips exactly (tested bit-for-bit).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import MeshError
+from .hexmesh import HexMesh
+
+_FORMAT_VERSION = 1
+
+
+def save_mesh(mesh: HexMesh, path: str | Path) -> None:
+    """Write a mesh to ``path`` (``.npz`` appended if absent)."""
+    path = Path(path)
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "polynomial_order": mesh.polynomial_order,
+        "periodic": mesh.periodic,
+        "periodic_axes": list(mesh.periodic_axes),
+        "domain": [list(pair) for pair in mesh.domain],
+    }
+    np.savez_compressed(
+        path,
+        coords=mesh.coords,
+        connectivity=mesh.connectivity,
+        corner_coords=mesh.corner_coords,
+        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+    )
+
+
+def load_mesh(path: str | Path) -> HexMesh:
+    """Read a mesh previously written by :func:`save_mesh`."""
+    path = Path(path)
+    if not path.exists():
+        candidate = path.with_suffix(path.suffix + ".npz")
+        if candidate.exists():
+            path = candidate
+        else:
+            raise MeshError(f"mesh file not found: {path}")
+    with np.load(path) as data:
+        try:
+            meta = json.loads(bytes(data["meta"]).decode("utf-8"))
+            coords = data["coords"]
+            connectivity = data["connectivity"]
+            corner_coords = data["corner_coords"]
+        except KeyError as exc:
+            raise MeshError(f"mesh file {path} is missing field {exc}") from exc
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise MeshError(
+            f"unsupported mesh format version: {meta.get('format_version')}"
+        )
+    axes = meta.get("periodic_axes")
+    return HexMesh(
+        polynomial_order=int(meta["polynomial_order"]),
+        coords=coords,
+        connectivity=connectivity,
+        corner_coords=corner_coords,
+        periodic=bool(meta["periodic"]),
+        domain=tuple(tuple(pair) for pair in meta["domain"]),
+        periodic_axes=tuple(bool(a) for a in axes) if axes else None,
+    )

@@ -1,0 +1,109 @@
+"""Local node numbering inside a hexahedral spectral element.
+
+A hex element of polynomial order ``p`` carries ``(p + 1)**3`` GLL nodes.
+We use lexicographic ordering with **x fastest, z slowest**:
+
+``local = (iz * n1 + iy) * n1 + ix`` with ``n1 = p + 1``.
+
+All tensor-product operators in :mod:`repro.fem` rely on this convention,
+so it is defined exactly once, here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MeshError
+
+
+def nodes_per_direction(polynomial_order: int) -> int:
+    """Number of GLL nodes per direction for the given order."""
+    if polynomial_order < 1:
+        raise MeshError(f"polynomial order must be >= 1, got {polynomial_order}")
+    return polynomial_order + 1
+
+
+def local_node_index(ix: int, iy: int, iz: int, n1: int) -> int:
+    """Flatten a local ``(ix, iy, iz)`` triplet to the lexicographic index."""
+    if not (0 <= ix < n1 and 0 <= iy < n1 and 0 <= iz < n1):
+        raise MeshError(f"local triplet ({ix}, {iy}, {iz}) out of range for n1={n1}")
+    return (iz * n1 + iy) * n1 + ix
+
+
+def local_node_triplet(local: int, n1: int) -> tuple[int, int, int]:
+    """Invert :func:`local_node_index`."""
+    if not (0 <= local < n1**3):
+        raise MeshError(f"local index {local} out of range for n1={n1}")
+    ix = local % n1
+    iy = (local // n1) % n1
+    iz = local // (n1 * n1)
+    return ix, iy, iz
+
+
+def corner_local_indices(n1: int) -> np.ndarray:
+    """Local indices of the 8 geometric corners, in VTK hexahedron order.
+
+    VTK order: (0,0,0), (1,0,0), (1,1,0), (0,1,0), then the same square at
+    z = 1. This is the order expected by the trilinear geometry mapping.
+    """
+    m = n1 - 1
+    corners = [
+        (0, 0, 0),
+        (m, 0, 0),
+        (m, m, 0),
+        (0, m, 0),
+        (0, 0, m),
+        (m, 0, m),
+        (m, m, m),
+        (0, m, m),
+    ]
+    return np.array([local_node_index(ix, iy, iz, n1) for ix, iy, iz in corners])
+
+
+def face_local_indices(face: str, n1: int) -> np.ndarray:
+    """Local indices of the nodes on one face of the element.
+
+    ``face`` is one of ``x-``, ``x+``, ``y-``, ``y+``, ``z-``, ``z+``; the
+    returned array has shape ``(n1, n1)`` ordered lexicographically in the
+    two in-face directions.
+    """
+    rng = np.arange(n1)
+    grid_y, grid_x = np.meshgrid(rng, rng, indexing="ij")
+    if face == "x-":
+        return np.array(
+            [[local_node_index(0, a, b, n1) for a in rng] for b in rng]
+        )
+    if face == "x+":
+        return np.array(
+            [[local_node_index(n1 - 1, a, b, n1) for a in rng] for b in rng]
+        )
+    if face == "y-":
+        return np.array(
+            [[local_node_index(a, 0, b, n1) for a in rng] for b in rng]
+        )
+    if face == "y+":
+        return np.array(
+            [[local_node_index(a, n1 - 1, b, n1) for a in rng] for b in rng]
+        )
+    if face == "z-":
+        return np.array(
+            [[local_node_index(a, b, 0, n1) for a in rng] for b in rng]
+        )
+    if face == "z+":
+        return np.array(
+            [[local_node_index(a, b, n1 - 1, n1) for a in rng] for b in rng]
+        )
+    del grid_x, grid_y
+    raise MeshError(f"unknown face name: {face!r}")
+
+
+def lexicographic_grid(n1: int) -> np.ndarray:
+    """All local triplets in lexicographic order, shape ``(n1**3, 3)``."""
+    out = np.empty((n1**3, 3), dtype=np.int64)
+    idx = 0
+    for iz in range(n1):
+        for iy in range(n1):
+            for ix in range(n1):
+                out[idx] = (ix, iy, iz)
+                idx += 1
+    return out

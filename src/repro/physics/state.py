@@ -1,0 +1,165 @@
+"""The flow state container.
+
+The solver advances the conservative variables ``(rho, rho*u, E)`` (with
+``E`` the total energy per unit volume). After each RK step the paper's
+RKU kernel re-evaluates the primitive set ``rho, u, T, E, p`` — mirrored
+here by the derived-quantity methods, which are exactly the computations
+assigned to the RKU kernel's update loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import PhysicsError
+from .gas import GasProperties
+
+#: Number of conserved scalar fields (rho, 3 momentum, energy).
+NUM_CONSERVED = 5
+
+
+@dataclass
+class FlowState:
+    """Conservative flow variables on a set of nodes.
+
+    Attributes
+    ----------
+    rho:
+        ``(N,)`` density.
+    momentum:
+        ``(3, N)`` momentum density ``rho * u``.
+    total_energy:
+        ``(N,)`` total energy per unit volume
+        ``E = rho * (cv * T + |u|^2 / 2)``.
+    """
+
+    rho: np.ndarray
+    momentum: np.ndarray
+    total_energy: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.rho = np.asarray(self.rho, dtype=np.float64)
+        self.momentum = np.asarray(self.momentum, dtype=np.float64)
+        self.total_energy = np.asarray(self.total_energy, dtype=np.float64)
+        n = self.rho.shape
+        if self.momentum.shape != (3,) + n:
+            raise PhysicsError(
+                f"momentum shape {self.momentum.shape} incompatible with rho {n}"
+            )
+        if self.total_energy.shape != n:
+            raise PhysicsError(
+                f"total_energy shape {self.total_energy.shape} incompatible with rho {n}"
+            )
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_primitive(
+        cls,
+        rho: np.ndarray,
+        velocity: np.ndarray,
+        temperature: np.ndarray,
+        gas: GasProperties,
+    ) -> "FlowState":
+        """Build a state from density, velocity ``(3, N)``, temperature."""
+        rho = np.asarray(rho, dtype=np.float64)
+        velocity = np.asarray(velocity, dtype=np.float64)
+        temperature = np.asarray(temperature, dtype=np.float64)
+        if np.any(rho <= 0):
+            raise PhysicsError("density must be positive")
+        if np.any(temperature <= 0):
+            raise PhysicsError("temperature must be positive")
+        kinetic = 0.5 * np.sum(velocity**2, axis=0)
+        total_energy = rho * (gas.internal_energy(temperature) + kinetic)
+        return cls(
+            rho=rho, momentum=rho[None, :] * velocity, total_energy=total_energy
+        )
+
+    @classmethod
+    def zeros(cls, num_nodes: int) -> "FlowState":
+        """All-zero state (useful as an accumulator)."""
+        return cls(
+            rho=np.zeros(num_nodes),
+            momentum=np.zeros((3, num_nodes)),
+            total_energy=np.zeros(num_nodes),
+        )
+
+    # -- derived quantities (the RKU kernel's update set) --------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.rho.shape[-1])
+
+    def velocity(self) -> np.ndarray:
+        """Velocity ``u = momentum / rho``, shape ``(3, N)``."""
+        return self.momentum / self.rho[None, :]
+
+    def kinetic_energy_density(self) -> np.ndarray:
+        """``rho |u|^2 / 2`` per node."""
+        return 0.5 * np.sum(self.momentum**2, axis=0) / self.rho
+
+    def internal_energy_density(self) -> np.ndarray:
+        """``rho * e`` per node."""
+        return self.total_energy - self.kinetic_energy_density()
+
+    def temperature(self, gas: GasProperties) -> np.ndarray:
+        """Temperature from the ideal-gas internal energy."""
+        return gas.temperature_from_internal_energy(
+            self.internal_energy_density() / self.rho
+        )
+
+    def pressure(self, gas: GasProperties) -> np.ndarray:
+        """Ideal-gas pressure ``p = (gamma - 1) * rho * e``."""
+        return (gas.gamma - 1.0) * self.internal_energy_density()
+
+    def sound_speed(self, gas: GasProperties) -> np.ndarray:
+        """Local speed of sound."""
+        return gas.sound_speed(self.temperature(gas))
+
+    def max_wave_speed(self, gas: GasProperties) -> float:
+        """``max(|u| + c)`` over all nodes — the CFL signal speed."""
+        speed = np.sqrt(np.sum(self.velocity() ** 2, axis=0))
+        return float(np.max(speed + self.sound_speed(gas)))
+
+    def validate(self) -> None:
+        """Raise :class:`PhysicsError` if the state is unphysical."""
+        if not np.all(np.isfinite(self.rho)):
+            raise PhysicsError("non-finite density")
+        if not np.all(np.isfinite(self.momentum)):
+            raise PhysicsError("non-finite momentum")
+        if not np.all(np.isfinite(self.total_energy)):
+            raise PhysicsError("non-finite total energy")
+        if np.any(self.rho <= 0):
+            raise PhysicsError("non-positive density")
+        if np.any(self.internal_energy_density() <= 0):
+            raise PhysicsError("non-positive internal energy (negative pressure)")
+
+    # -- arithmetic used by the RK integrator --------------------------------
+
+    def copy(self) -> "FlowState":
+        """Deep copy."""
+        return FlowState(
+            rho=self.rho.copy(),
+            momentum=self.momentum.copy(),
+            total_energy=self.total_energy.copy(),
+        )
+
+    def as_stacked(self) -> np.ndarray:
+        """Pack into a ``(5, N)`` array ordered (rho, mx, my, mz, E)."""
+        return np.vstack(
+            [self.rho[None, :], self.momentum, self.total_energy[None, :]]
+        )
+
+    @classmethod
+    def from_stacked(cls, stacked: np.ndarray) -> "FlowState":
+        """Inverse of :meth:`as_stacked`."""
+        stacked = np.asarray(stacked, dtype=np.float64)
+        if stacked.ndim != 2 or stacked.shape[0] != NUM_CONSERVED:
+            raise PhysicsError(f"stacked state must be (5, N), got {stacked.shape}")
+        return cls(
+            rho=stacked[0].copy(),
+            momentum=stacked[1:4].copy(),
+            total_energy=stacked[4].copy(),
+        )

@@ -1,0 +1,41 @@
+"""The FEM Navier-Stokes solver (the paper's Section II-C source code).
+
+Composes the mesh, FEM, physics and time-integration substrates into the
+solver whose RK hotspot the paper accelerates:
+
+- :mod:`repro.solver.navier_stokes` — the spatial operator, structured as
+  the Fig. 1 dataflow (LOAD element -> COMPUTE diffusion / convection ->
+  STORE contribution, with the node-level gradient / tau / residual
+  stages inside);
+- :mod:`repro.solver.simulation` — the time-stepping driver with the RK
+  stage loop and the RKU-style update of ``rho, u, T, E, p``;
+- :mod:`repro.solver.profiler` — the phase profiler that regenerates the
+  paper's Fig. 2 execution-time breakdown;
+- :mod:`repro.solver.workload` — analytic per-phase operation and byte
+  counts, the common input of the CPU and FPGA timing models.
+"""
+
+from .profiler import PhaseProfiler, PhaseBreakdown
+from .navier_stokes import NavierStokesOperator
+from .simulation import Simulation, SimulationResult, StepRecord
+from .workload import (
+    PhaseWork,
+    RKWorkload,
+    rk_stage_workload,
+    full_step_workload,
+    workload_for_node_count,
+)
+
+__all__ = [
+    "PhaseProfiler",
+    "PhaseBreakdown",
+    "NavierStokesOperator",
+    "Simulation",
+    "SimulationResult",
+    "StepRecord",
+    "PhaseWork",
+    "RKWorkload",
+    "rk_stage_workload",
+    "full_step_workload",
+    "workload_for_node_count",
+]

@@ -1,0 +1,229 @@
+"""The FEM spatial operator for the compressible Navier-Stokes equations.
+
+This is the computational core the paper accelerates, organized exactly as
+its Fig. 1 dataflow graph:
+
+- the **Convection** pass: LOAD element -> (per node) compute the Euler
+  fluxes and their weak-divergence residuals -> STORE contribution;
+- the **Diffusion** pass: LOAD element -> (per node) compute gradients,
+  the viscous stress ``tau``, the viscous/heat fluxes and their
+  weak-divergence residuals -> STORE contribution.
+
+Each pass performs its own gather and scatter-add, mirroring the paper's
+profiled C++ (whose diffusion and convection functions are independent,
+which is also what lets the accelerator merge them for hardware reuse).
+A ``fused`` mode shares one gather between the passes — the software
+analogue of that merge — used where wall-clock matters more than
+attribution fidelity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SolverError
+from ..fem.assembly import gather, lumped_mass, scatter_add
+from ..fem.geometry import compute_geometry
+from ..fem.operators import physical_gradient, weak_divergence
+from ..fem.reference import reference_hex
+from ..mesh.hexmesh import HexMesh
+from ..physics.fluxes import convective_fluxes, viscous_fluxes
+from ..physics.gas import GasProperties
+from ..physics.state import NUM_CONSERVED, FlowState
+from .profiler import PhaseProfiler
+
+
+class NavierStokesOperator:
+    """Semi-discrete right-hand side ``dq/dt = L(q)`` on a hex mesh.
+
+    Parameters
+    ----------
+    mesh:
+        The spectral-element mesh (periodic for the TGV case).
+    gas:
+        Working-fluid properties.
+    profiler:
+        Optional :class:`PhaseProfiler`; phases ``rk.diffusion``,
+        ``rk.convection`` and ``rk.other`` are attributed as in the
+        paper's Fig. 2.
+    fused:
+        Share one gather between the diffusion and convection passes.
+    """
+
+    def __init__(
+        self,
+        mesh: HexMesh,
+        gas: GasProperties,
+        profiler: PhaseProfiler | None = None,
+        fused: bool = False,
+    ) -> None:
+        self.mesh = mesh
+        self.gas = gas
+        self.fused = fused
+        self.profiler = profiler if profiler is not None else PhaseProfiler()
+        self.ref = reference_hex(mesh.polynomial_order)
+        self.geom = compute_geometry(mesh.corner_coords, self.ref)
+        self.mass = lumped_mass(
+            mesh.connectivity, mesh.num_nodes, self.geom, self.ref
+        )
+        # Wall-bounded meshes (any non-periodic axis) get strongly
+        # enforced no-slip isothermal walls: momentum and energy are held
+        # at the wall values by zeroing their residuals on wall nodes.
+        if mesh.periodic:
+            self.wall_nodes: np.ndarray = np.empty(0, dtype=np.int64)
+        else:
+            from ..mesh.boundary import tag_box_boundaries
+
+            tags = tag_box_boundaries(mesh)
+            self.wall_nodes = np.nonzero(tags != 0)[0]
+
+    # -- element-local physics ----------------------------------------------
+
+    def _element_primitives(
+        self, state_elem: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Primitive fields per element node from gathered conservatives.
+
+        ``state_elem`` is ``(5, E, Q)``; returns
+        ``(rho, velocity(3, E, Q), pressure, temperature, total_energy)``.
+        This is the node-level LOAD stage of Fig. 1.
+        """
+        rho = state_elem[0]
+        momentum = state_elem[1:4]
+        total_energy = state_elem[4]
+        velocity = momentum / rho[None]
+        kinetic = 0.5 * np.sum(momentum * velocity, axis=0)
+        internal = total_energy - kinetic
+        pressure = (self.gas.gamma - 1.0) * internal
+        temperature = internal / (rho * self.gas.cv)
+        return rho, velocity, pressure, temperature, total_energy
+
+    def convection_element_residuals(self, state_elem: np.ndarray) -> np.ndarray:
+        """Per-element convection residuals ``-div F_c`` (weak), ``(5, E, Q)``."""
+        rho, velocity, pressure, _temperature, total_energy = (
+            self._element_primitives(state_elem)
+        )
+        fluxes = convective_fluxes(rho, velocity, pressure, total_energy)
+        num_elem, nodes = rho.shape
+        out = np.empty((NUM_CONSERVED, num_elem, nodes))
+        out[0] = -weak_divergence(fluxes.mass, self.geom, self.ref)
+        for i in range(3):
+            out[1 + i] = -weak_divergence(
+                fluxes.momentum[..., i, :], self.geom, self.ref
+            )
+        out[4] = -weak_divergence(fluxes.energy, self.geom, self.ref)
+        return out
+
+    def diffusion_element_residuals(self, state_elem: np.ndarray) -> np.ndarray:
+        """Per-element diffusion residuals ``+div F_v`` (weak), ``(5, E, Q)``.
+
+        Computes the node gradients of velocity and temperature, the
+        stress tensor ``tau``, and the viscous/heat fluxes — the 2a/2b/2c
+        node stages of the paper's Fig. 3.
+        """
+        _rho, velocity, _pressure, temperature, _total_energy = (
+            self._element_primitives(state_elem)
+        )
+        num_elem, nodes = temperature.shape
+        grad_u = np.empty((num_elem, nodes, 3, 3))
+        for i in range(3):
+            grad_u[:, :, i, :] = physical_gradient(velocity[i], self.geom, self.ref)
+        grad_t = physical_gradient(temperature, self.geom, self.ref)
+        fluxes = viscous_fluxes(velocity, grad_u, grad_t, self.gas)
+        out = np.zeros((NUM_CONSERVED, num_elem, nodes))
+        for i in range(3):
+            out[1 + i] = weak_divergence(
+                fluxes.momentum[..., i, :], self.geom, self.ref
+            )
+        out[4] = weak_divergence(fluxes.energy, self.geom, self.ref)
+        return out
+
+    # -- global residual ------------------------------------------------------
+
+    def _gather_state(self, stacked: np.ndarray) -> np.ndarray:
+        """LOAD-element: ``(5, N)`` global state to ``(5, E, Q)`` local."""
+        return gather(stacked, self.mesh.connectivity)
+
+    def _scatter_residuals(self, element_res: np.ndarray) -> np.ndarray:
+        """STORE-element-contribution: accumulate ``(5, E, Q)`` to ``(5, N)``."""
+        out = np.empty((NUM_CONSERVED, self.mesh.num_nodes))
+        for f_idx in range(NUM_CONSERVED):
+            out[f_idx] = scatter_add(
+                element_res[f_idx], self.mesh.connectivity, self.mesh.num_nodes
+            )
+        return out
+
+    def residual(self, stacked: np.ndarray) -> np.ndarray:
+        """Full right-hand side ``dq/dt`` for the stacked state ``(5, N)``.
+
+        The diffusion and convection contributions are computed by
+        independent element passes (as profiled in the paper) and summed
+        after assembly; the diagonal lumped mass is inverted pointwise.
+        """
+        stacked = np.asarray(stacked, dtype=np.float64)
+        if stacked.shape != (NUM_CONSERVED, self.mesh.num_nodes):
+            raise SolverError(
+                f"state must be (5, {self.mesh.num_nodes}), got {stacked.shape}"
+            )
+        prof = self.profiler
+        if self.fused:
+            with prof.phase("rk.other"):
+                state_elem = self._gather_state(stacked)
+            with prof.phase("rk.convection"):
+                conv = self._scatter_residuals(
+                    self.convection_element_residuals(state_elem)
+                )
+            with prof.phase("rk.diffusion"):
+                diff = self._scatter_residuals(
+                    self.diffusion_element_residuals(state_elem)
+                )
+        else:
+            with prof.phase("rk.convection"):
+                state_elem = self._gather_state(stacked)
+                conv = self._scatter_residuals(
+                    self.convection_element_residuals(state_elem)
+                )
+            with prof.phase("rk.diffusion"):
+                state_elem = self._gather_state(stacked)
+                diff = self._scatter_residuals(
+                    self.diffusion_element_residuals(state_elem)
+                )
+        with prof.phase("rk.other"):
+            rhs = (conv + diff) / self.mass[None, :]
+            if self.wall_nodes.size:
+                # No-slip isothermal walls: u and T (hence momentum and
+                # total energy) are prescribed, so their residuals vanish;
+                # density evolves freely (zero normal mass flux holds
+                # because the wall velocity is zero).
+                rhs[1:, self.wall_nodes] = 0.0
+        return rhs
+
+    # -- diagnostics support ---------------------------------------------------
+
+    def nodal_velocity_gradient(self, state: FlowState) -> np.ndarray:
+        """Mass-averaged nodal velocity gradient, shape ``(N, 3, 3)``.
+
+        Element-discontinuous gradients are made single-valued by
+        mass-weighted averaging (the standard SEM projection); used by the
+        vorticity/enstrophy diagnostics.
+        """
+        velocity = state.velocity()
+        conn = self.mesh.connectivity
+        num_nodes = self.mesh.num_nodes
+        scale = self.geom.quadrature_scale(self.ref)
+        out = np.empty((num_nodes, 3, 3))
+        for i in range(3):
+            vel_elem = gather(velocity[i], conn)
+            grad = physical_gradient(vel_elem, self.geom, self.ref)  # (E, Q, 3)
+            for j in range(3):
+                weighted = scatter_add(grad[:, :, j] * scale, conn, num_nodes)
+                out[:, i, j] = weighted / self.mass
+        return out
+
+    def stable_dt_inputs(self, state: FlowState) -> tuple[float, float]:
+        """``(min GLL spacing, max wave speed)`` for the CFL controller."""
+        from ..mesh.metrics import element_min_spacing
+
+        spacing = float(element_min_spacing(self.mesh).min())
+        wave = state.max_wave_speed(self.gas)
+        return spacing, wave

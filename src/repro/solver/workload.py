@@ -1,0 +1,371 @@
+"""Analytic operation and memory-traffic characterization of the solver.
+
+Both timing models — the Xeon roofline (:mod:`repro.cpu`) and the FPGA
+dataflow accelerator (:mod:`repro.accel`) — consume the *same* workload
+description derived here from the FEM algorithm, so the speedups the
+benchmarks report emerge from architectural modeling of identical work,
+never from inconsistent accounting.
+
+Counting conventions
+--------------------
+- Counts are **per RK stage** unless stated otherwise; one time step runs
+  ``tableau.num_stages`` stages plus the RK combination and RKU update.
+- ``Q = (p + 1)**3`` nodes per element; ``n1 = p + 1``.
+- A "value" is one scalar of the working precision (the CPU model prices
+  fp64, the accelerator fp32).
+- Gather/scatter DRAM traffic counts the element-copy volume (each
+  element reads its own copy of shared nodes), matching both the paper's
+  C++ (independent diffusion/convection passes) and the accelerator's
+  LOAD/STORE streams.
+
+The per-node operation counts follow directly from the arithmetic in
+:mod:`repro.fem.operators` and :mod:`repro.physics`; each constant is
+annotated with its origin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import SolverError
+from ..timeint.butcher import RK4, ButcherTableau
+
+#: Conserved fields (rho, 3 momentum, total energy).
+NUM_FIELDS = 5
+#: Fields whose gradient the diffusion pass needs (u, v, w, T).
+NUM_GRADIENT_FIELDS = 4
+#: Fields with a nonzero viscous flux (3 momentum + energy).
+NUM_VISCOUS_FIELDS = 4
+#: Per-element metric values streamed alongside the state for an affine
+#: element: 9 inverse-Jacobian entries plus the per-node quadrature scale.
+METRIC_VALUES_PER_ELEMENT_CONST = 9
+
+
+@dataclass(frozen=True)
+class OpCount:
+    """Operation and traffic counts of one code region."""
+
+    adds: float = 0.0
+    muls: float = 0.0
+    divs: float = 0.0
+    specials: float = 0.0  # sqrt and friends
+    dram_reads: float = 0.0  # values
+    dram_writes: float = 0.0  # values
+
+    @property
+    def flops(self) -> float:
+        """Total floating-point operations (all classes)."""
+        return self.adds + self.muls + self.divs + self.specials
+
+    @property
+    def dram_values(self) -> float:
+        """Total DRAM traffic in values."""
+        return self.dram_reads + self.dram_writes
+
+    def __add__(self, other: "OpCount") -> "OpCount":
+        return OpCount(
+            adds=self.adds + other.adds,
+            muls=self.muls + other.muls,
+            divs=self.divs + other.divs,
+            specials=self.specials + other.specials,
+            dram_reads=self.dram_reads + other.dram_reads,
+            dram_writes=self.dram_writes + other.dram_writes,
+        )
+
+    def scaled(self, factor: float) -> "OpCount":
+        """All counts multiplied by ``factor``."""
+        return OpCount(
+            adds=self.adds * factor,
+            muls=self.muls * factor,
+            divs=self.divs * factor,
+            specials=self.specials * factor,
+            dram_reads=self.dram_reads * factor,
+            dram_writes=self.dram_writes * factor,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Per-node building blocks (functions of the 1D node count n1)
+# ---------------------------------------------------------------------------
+
+
+def primitives_per_node() -> OpCount:
+    """Conservative -> primitive conversion at one node.
+
+    ``u = m / rho`` (3 div), kinetic ``m.u/2`` (3 mul + 2 add + 1 mul),
+    internal energy (1 sub), pressure (1 mul), temperature (1 div, 1 mul).
+    """
+    return OpCount(adds=3, muls=6, divs=4)
+
+
+def gradient_per_node_per_field(n1: int) -> OpCount:
+    """One field's physical gradient at one node.
+
+    Reference gradient: 3 directions x (n1 mul + (n1 - 1) add); metric
+    application (affine): 9 mul + 6 add.
+    """
+    return OpCount(adds=3 * (n1 - 1) + 6, muls=3 * n1 + 9)
+
+
+def tau_per_node() -> OpCount:
+    """Viscous stress tensor at one node (see ``physics.viscous``).
+
+    Trace (2 add), symmetrization (9 add), scale by mu (9 mul), diagonal
+    Stokes correction (1 mul + 3 mul + 3 add).
+    """
+    return OpCount(adds=14, muls=13)
+
+
+def viscous_flux_per_node() -> OpCount:
+    """``tau . u`` (9 mul + 6 add) plus ``kappa grad T`` (3 mul + 3 add)."""
+    return OpCount(adds=9, muls=12)
+
+
+def euler_flux_per_node() -> OpCount:
+    """Euler fluxes: ``rho u`` (3 mul), ``rho u_i u_j + p I`` (9 mul +
+    3 add), ``(E + p) u`` (1 add + 3 mul)."""
+    return OpCount(adds=4, muls=15)
+
+
+def weak_divergence_per_node_per_field(n1: int) -> OpCount:
+    """One field's weak divergence at one node.
+
+    Contravariant transform (9 mul + 6 add) + quadrature scaling (3 mul);
+    transposed derivative in 3 directions (3 n1 mul + 3 (n1 - 1) add) and
+    2 adds combining the direction partials.
+    """
+    return OpCount(adds=6 + 3 * (n1 - 1) + 2, muls=12 + 3 * n1)
+
+
+# ---------------------------------------------------------------------------
+# Per-element tasks (the paper's Fig. 1 / Fig. 3 stages)
+# ---------------------------------------------------------------------------
+
+
+def load_element(q: int, num_fields: int = NUM_FIELDS) -> OpCount:
+    """LOAD-element: stream state fields + metric terms from DRAM."""
+    return OpCount(
+        dram_reads=num_fields * q + q + METRIC_VALUES_PER_ELEMENT_CONST
+    )
+
+
+def store_element(q: int, num_fields: int) -> OpCount:
+    """STORE-element-contribution: accumulating scatter (read-modify-write)."""
+    return OpCount(
+        adds=num_fields * q,
+        dram_reads=num_fields * q,
+        dram_writes=num_fields * q,
+    )
+
+
+def compute_convection_element(n1: int) -> OpCount:
+    """COMPUTE-convection for one element (no DRAM traffic; on-chip)."""
+    q = n1**3
+    work = primitives_per_node().scaled(q)
+    work = work + euler_flux_per_node().scaled(q)
+    work = work + weak_divergence_per_node_per_field(n1).scaled(q * NUM_FIELDS)
+    return work
+
+
+def compute_diffusion_element(n1: int) -> OpCount:
+    """COMPUTE-diffusion for one element: gradients, tau, viscous fluxes,
+    weak divergences."""
+    q = n1**3
+    work = primitives_per_node().scaled(q)
+    work = work + gradient_per_node_per_field(n1).scaled(q * NUM_GRADIENT_FIELDS)
+    work = work + tau_per_node().scaled(q)
+    work = work + viscous_flux_per_node().scaled(q)
+    work = work + weak_divergence_per_node_per_field(n1).scaled(
+        q * NUM_VISCOUS_FIELDS
+    )
+    return work
+
+
+# ---------------------------------------------------------------------------
+# Per-node global stages (mass inversion, RK combination, RKU update)
+# ---------------------------------------------------------------------------
+
+
+def mass_inversion_per_node() -> OpCount:
+    """Divide the 5 assembled residuals by the lumped mass."""
+    return OpCount(divs=NUM_FIELDS, dram_reads=NUM_FIELDS + 1, dram_writes=NUM_FIELDS)
+
+
+def rk_axpy_per_node(tableau: ButcherTableau) -> OpCount:
+    """RK stage combinations for one full step at one node.
+
+    Every nonzero tableau entry costs one fused multiply-add per field and
+    streams the corresponding derivative array.
+    """
+    import numpy as np
+
+    nnz = int(np.count_nonzero(tableau.a)) + int(np.count_nonzero(tableau.b))
+    return OpCount(
+        adds=nnz * NUM_FIELDS,
+        muls=nnz * NUM_FIELDS,
+        dram_reads=(nnz + tableau.num_stages) * NUM_FIELDS,
+        dram_writes=tableau.num_stages * NUM_FIELDS,
+    )
+
+
+def rku_update_per_node() -> OpCount:
+    """The RKU kernel's primitive update ``rho, u, T, E, p`` at one node.
+
+    ``u = m / rho`` (3 div), kinetic (6 ops), internal energy (1), T
+    (1 div + 1 mul), p (1 mul); reads the 5 conserved values, writes the
+    5 primitive outputs (3 velocity components, T, p).
+    """
+    return OpCount(
+        adds=3,
+        muls=5,
+        divs=4,
+        dram_reads=NUM_FIELDS,
+        dram_writes=NUM_FIELDS,
+    )
+
+
+def non_rk_per_node() -> OpCount:
+    """Host-side work outside the RK method, per node per time step.
+
+    Models the paper's "Non-RK" 23.63 %: CFL signal speed (1 sqrt + a few
+    ops), integral diagnostics (one read pass over the conserved set),
+    and solution bookkeeping/output staging (read + format + write of the
+    primitive and conserved sets — 5 reads of each, 3 staged writes of
+    the primitive set).
+    """
+    return OpCount(
+        adds=6,
+        muls=8,
+        divs=1,
+        specials=1,
+        dram_reads=5 * NUM_FIELDS,
+        dram_writes=3 * NUM_FIELDS,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Aggregated workloads
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PhaseWork:
+    """One Fig. 2 phase over the full mesh for one time step."""
+
+    name: str
+    ops: OpCount
+
+    def scaled(self, factor: float) -> "PhaseWork":
+        return PhaseWork(name=self.name, ops=self.ops.scaled(factor))
+
+
+@dataclass(frozen=True)
+class RKWorkload:
+    """Per-time-step workload of the whole solver on a given mesh.
+
+    Attributes
+    ----------
+    num_nodes / num_elements:
+        Mesh size the counts are scaled to.
+    polynomial_order:
+        FEM order ``p``.
+    phases:
+        Mapping of phase name (``rk_diffusion``, ``rk_convection``,
+        ``rk_other``, ``non_rk``) to :class:`PhaseWork` for one time step.
+    """
+
+    num_nodes: int
+    num_elements: int
+    polynomial_order: int
+    num_stages: int
+    phases: dict[str, PhaseWork] = field(default_factory=dict)
+
+    def total_ops(self) -> OpCount:
+        """Sum of all phases."""
+        total = OpCount()
+        for phase in self.phases.values():
+            total = total + phase.ops
+        return total
+
+    def rk_ops(self) -> OpCount:
+        """Sum of the RK-method phases (the accelerated region)."""
+        total = OpCount()
+        for name, phase in self.phases.items():
+            if name != "non_rk":
+                total = total + phase.ops
+        return total
+
+
+def rk_stage_workload(
+    num_elements: int, polynomial_order: int
+) -> dict[str, OpCount]:
+    """Diffusion / convection element-pass work for ONE RK stage.
+
+    Each pass performs its own LOAD and STORE (paper Fig. 1: both
+    branches begin with LOAD Node and end with STORE Node Contribution).
+    """
+    n1 = polynomial_order + 1
+    q = n1**3
+    convection = (
+        load_element(q)
+        + compute_convection_element(n1)
+        + store_element(q, NUM_FIELDS)
+    )
+    diffusion = (
+        load_element(q)
+        + compute_diffusion_element(n1)
+        + store_element(q, NUM_VISCOUS_FIELDS)
+    )
+    return {
+        "rk_convection": convection.scaled(num_elements),
+        "rk_diffusion": diffusion.scaled(num_elements),
+    }
+
+
+def full_step_workload(
+    num_nodes: int,
+    num_elements: int,
+    polynomial_order: int,
+    tableau: ButcherTableau = RK4,
+) -> RKWorkload:
+    """Workload of one complete time step on the given mesh."""
+    if num_nodes < 1 or num_elements < 1:
+        raise SolverError("mesh sizes must be positive")
+    stages = tableau.num_stages
+    stage = rk_stage_workload(num_elements, polynomial_order)
+    rk_other = (
+        mass_inversion_per_node().scaled(num_nodes * stages)
+        + rk_axpy_per_node(tableau).scaled(num_nodes)
+        + rku_update_per_node().scaled(num_nodes)
+    )
+    phases = {
+        "rk_diffusion": PhaseWork(
+            "rk_diffusion", stage["rk_diffusion"].scaled(stages)
+        ),
+        "rk_convection": PhaseWork(
+            "rk_convection", stage["rk_convection"].scaled(stages)
+        ),
+        "rk_other": PhaseWork("rk_other", rk_other),
+        "non_rk": PhaseWork("non_rk", non_rk_per_node().scaled(num_nodes)),
+    }
+    return RKWorkload(
+        num_nodes=num_nodes,
+        num_elements=num_elements,
+        polynomial_order=polynomial_order,
+        num_stages=stages,
+        phases=phases,
+    )
+
+
+def workload_for_node_count(
+    num_nodes: int, polynomial_order: int = 2, tableau: ButcherTableau = RK4
+) -> RKWorkload:
+    """Workload for a periodic box mesh with ~``num_nodes`` nodes.
+
+    On the periodic TGV mesh of order ``p``, elements number
+    ``num_nodes / p**3`` (each element contributes ``p**3`` unique nodes).
+    """
+    if num_nodes < 1:
+        raise SolverError("num_nodes must be >= 1")
+    num_elements = max(1, round(num_nodes / polynomial_order**3))
+    return full_step_workload(num_nodes, num_elements, polynomial_order, tableau)

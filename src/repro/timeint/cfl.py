@@ -1,0 +1,50 @@
+"""CFL-based time-step control for the explicit FEM solver.
+
+Explicit RK stability bounds the step by the advective CFL condition
+``dt <= CFL * dx_min / (|u| + c)_max`` and, at low Reynolds resolution,
+by the diffusive condition ``dt <= CFL_d * dx_min^2 / nu``. The solver
+takes the minimum of both.
+"""
+
+from __future__ import annotations
+
+from ..errors import TimeIntegrationError
+
+
+def advective_time_step(
+    min_spacing: float, max_wave_speed: float, cfl: float = 0.5
+) -> float:
+    """Advective (acoustic) CFL step bound."""
+    if min_spacing <= 0:
+        raise TimeIntegrationError("min_spacing must be positive")
+    if max_wave_speed <= 0:
+        raise TimeIntegrationError("max_wave_speed must be positive")
+    if cfl <= 0:
+        raise TimeIntegrationError("cfl must be positive")
+    return cfl * min_spacing / max_wave_speed
+
+
+def diffusive_time_step(
+    min_spacing: float, kinematic_viscosity: float, cfl_diffusive: float = 0.25
+) -> float:
+    """Viscous (diffusive) step bound; infinite for inviscid flow."""
+    if min_spacing <= 0:
+        raise TimeIntegrationError("min_spacing must be positive")
+    if cfl_diffusive <= 0:
+        raise TimeIntegrationError("cfl_diffusive must be positive")
+    if kinematic_viscosity <= 0:
+        return float("inf")
+    return cfl_diffusive * min_spacing**2 / kinematic_viscosity
+
+
+def stable_time_step(
+    min_spacing: float,
+    max_wave_speed: float,
+    kinematic_viscosity: float,
+    cfl: float = 0.5,
+    cfl_diffusive: float = 0.25,
+) -> float:
+    """Combined stable step: the tighter of the two bounds."""
+    dt_adv = advective_time_step(min_spacing, max_wave_speed, cfl)
+    dt_diff = diffusive_time_step(min_spacing, kinematic_viscosity, cfl_diffusive)
+    return min(dt_adv, dt_diff)

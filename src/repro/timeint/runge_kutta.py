@@ -1,0 +1,119 @@
+"""Generic explicit Runge-Kutta driver.
+
+The right-hand side is any callable ``rhs(t, y) -> dy/dt`` over numpy
+arrays. The Navier-Stokes solver feeds its stacked conservative state
+``(5, N)`` through :func:`rk_step_stacked`; scalar ODE convergence tests
+use :func:`rk_step` / :func:`integrate` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import TimeIntegrationError
+from .butcher import ButcherTableau
+
+RHSFunc = Callable[[float, np.ndarray], np.ndarray]
+
+
+def rk_step(
+    rhs: RHSFunc, t: float, y: np.ndarray, dt: float, tableau: ButcherTableau
+) -> np.ndarray:
+    """One explicit RK step from ``(t, y)`` with step size ``dt``.
+
+    Returns the new state; ``y`` is not modified.
+    """
+    if dt <= 0:
+        raise TimeIntegrationError(f"dt must be positive, got {dt}")
+    y = np.asarray(y, dtype=np.float64)
+    num_stages = tableau.num_stages
+    stage_derivs: list[np.ndarray] = []
+    for stage in range(num_stages):
+        y_stage = y
+        if stage > 0:
+            increment = np.zeros_like(y)
+            for prev in range(stage):
+                coeff = tableau.a[stage, prev]
+                if coeff != 0.0:
+                    increment = increment + coeff * stage_derivs[prev]
+            y_stage = y + dt * increment
+        stage_derivs.append(
+            np.asarray(rhs(t + tableau.c[stage] * dt, y_stage), dtype=np.float64)
+        )
+    result = y.copy()
+    for stage in range(num_stages):
+        weight = tableau.b[stage]
+        if weight != 0.0:
+            result = result + dt * weight * stage_derivs[stage]
+    return result
+
+
+def rk_step_stacked(
+    rhs: RHSFunc,
+    t: float,
+    y: np.ndarray,
+    dt: float,
+    tableau: ButcherTableau,
+    post_stage: Callable[[np.ndarray], None] | None = None,
+) -> np.ndarray:
+    """RK step with an optional post-stage hook.
+
+    The solver uses ``post_stage`` to mirror the paper's flow: after each
+    RK stage evaluation, the RKU kernel re-derives ``rho, u, T, E, p``.
+    The hook receives each stage state (including the final combination)
+    and may validate or record it; it must not modify the array.
+    """
+    if dt <= 0:
+        raise TimeIntegrationError(f"dt must be positive, got {dt}")
+    y = np.asarray(y, dtype=np.float64)
+    stage_derivs: list[np.ndarray] = []
+    for stage in range(tableau.num_stages):
+        y_stage = y
+        if stage > 0:
+            increment = np.zeros_like(y)
+            for prev in range(stage):
+                coeff = tableau.a[stage, prev]
+                if coeff != 0.0:
+                    increment = increment + coeff * stage_derivs[prev]
+            y_stage = y + dt * increment
+        if post_stage is not None:
+            post_stage(y_stage)
+        stage_derivs.append(
+            np.asarray(rhs(t + tableau.c[stage] * dt, y_stage), dtype=np.float64)
+        )
+    result = y.copy()
+    for stage in range(tableau.num_stages):
+        weight = tableau.b[stage]
+        if weight != 0.0:
+            result = result + dt * weight * stage_derivs[stage]
+    if post_stage is not None:
+        post_stage(result)
+    return result
+
+
+def integrate(
+    rhs: RHSFunc,
+    t0: float,
+    y0: np.ndarray,
+    dt: float,
+    num_steps: int,
+    tableau: ButcherTableau,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Integrate ``num_steps`` fixed-size RK steps.
+
+    Returns ``(times, states)`` with ``times`` of shape
+    ``(num_steps + 1,)`` and ``states`` stacking every step's state along
+    axis 0 (including the initial one).
+    """
+    if num_steps < 1:
+        raise TimeIntegrationError("num_steps must be >= 1")
+    y = np.asarray(y0, dtype=np.float64)
+    times = t0 + dt * np.arange(num_steps + 1)
+    states = np.empty((num_steps + 1,) + y.shape)
+    states[0] = y
+    for step in range(num_steps):
+        y = rk_step(rhs, float(times[step]), y, dt, tableau)
+        states[step + 1] = y
+    return times, states

@@ -1,0 +1,24 @@
+"""Calibration constants sanity."""
+
+import pytest
+
+from repro.accel.calibration import DEFAULT_CALIBRATION, AcceleratorCalibration
+from repro.errors import CalibrationError
+
+
+class TestCalibration:
+    def test_defaults_valid(self):
+        assert DEFAULT_CALIBRATION.gather_overlap >= 1.0
+        assert DEFAULT_CALIBRATION.rku_read_latency_cycles >= 1
+
+    def test_invalid_overlap_rejected(self):
+        with pytest.raises(CalibrationError):
+            AcceleratorCalibration(gather_overlap=0.5)
+
+    def test_invalid_read_latency_rejected(self):
+        with pytest.raises(CalibrationError):
+            AcceleratorCalibration(rku_read_latency_cycles=0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_CALIBRATION.gather_overlap = 3.0

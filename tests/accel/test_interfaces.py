@@ -1,0 +1,97 @@
+"""Array-to-AXI assignment (Fig. 4) and interface reuse."""
+
+import pytest
+
+from repro.accel.interfaces import (
+    assign_interfaces,
+    single_interface_assignment,
+)
+from repro.errors import FPGAError
+from repro.fpga.axi import MemoryPort
+
+
+def gport(name):
+    return MemoryPort(
+        array=name, pattern="gather", values_per_iter=27, accesses_per_iter=27
+    )
+
+
+def sport(name):
+    return MemoryPort(array=name, pattern="stream", values_per_iter=27)
+
+
+class TestAssignment:
+    def test_independent_tasks_reuse_interfaces(self):
+        """Load and store are mutually exclusive (paper's reuse): their
+        arrays may share interfaces, so 2 interfaces suffice for 4 arrays."""
+        assignment = assign_interfaces(
+            {
+                "load": [gport("a"), gport("b")],
+                "store": [sport("x"), sport("y")],
+            },
+            concurrent_tasks=[],
+            max_interfaces=2,
+        )
+        assert assignment.num_interfaces <= 2
+
+    def test_concurrent_tasks_conflict(self):
+        """Concurrent tasks' arrays must not share an interface."""
+        assignment = assign_interfaces(
+            {
+                "load": [gport("a")],
+                "store": [sport("x")],
+            },
+            concurrent_tasks=[("load", "store")],
+            max_interfaces=4,
+        )
+        assert assignment.interface_of("a") != assignment.interface_of("x")
+
+    def test_conflict_overflow_raises(self):
+        with pytest.raises(FPGAError):
+            assign_interfaces(
+                {
+                    "t1": [gport("a")],
+                    "t2": [gport("b")],
+                },
+                concurrent_tasks=[("t1", "t2")],
+                max_interfaces=1,
+            )
+
+    def test_balanced_loads(self):
+        """Five equal gathers over four interfaces: the worst interface
+        carries exactly two."""
+        assignment = assign_interfaces(
+            {"load": [gport(f"a{i}") for i in range(5)]},
+            concurrent_tasks=[],
+            max_interfaces=4,
+        )
+        sizes = sorted(len(p) for p in assignment.assignment.values())
+        assert sizes == [1, 1, 1, 2]
+
+    def test_ports_for_task_restriction(self):
+        load_ports = [gport("a"), gport("b")]
+        store_ports = [sport("x")]
+        assignment = assign_interfaces(
+            {"load": load_ports, "store": store_ports},
+            concurrent_tasks=[],
+            max_interfaces=3,
+        )
+        restricted = assignment.ports_for_task(load_ports)
+        names = {p.array for ports in restricted.values() for p in ports}
+        assert names == {"a", "b"}
+
+    def test_unassigned_lookup_raises(self):
+        assignment = assign_interfaces(
+            {"load": [gport("a")]}, concurrent_tasks=[], max_interfaces=2
+        )
+        with pytest.raises(FPGAError):
+            assignment.interface_of("ghost")
+
+
+class TestSingleInterface:
+    def test_everything_shares_gmem(self):
+        assignment = single_interface_assignment(
+            {"load": [gport("a"), gport("b")], "store": [sport("x")]}
+        )
+        assert assignment.num_interfaces == 1
+        assert len(assignment.assignment["gmem"]) == 3

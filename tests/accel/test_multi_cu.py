@@ -1,0 +1,71 @@
+"""Multi-CU scaling extension."""
+
+import pytest
+
+from repro.accel.multi_cu import (
+    MAX_COMPUTE_UNITS,
+    multi_cu_floorplan,
+    multi_cu_timing,
+    render_scaling_table,
+    scaling_table,
+)
+from repro.errors import ExperimentError
+
+
+class TestFloorplan:
+    def test_two_cus_use_both_ddr_slrs(self, proposed):
+        plan = multi_cu_floorplan(proposed, 2)
+        assert plan.assignments["rkl0"] == "SLR0"
+        assert plan.assignments["rkl1"] == "SLR2"
+        assert plan.assignments["rku"] == "SLR1"
+
+    def test_cu_count_bounds(self, proposed):
+        with pytest.raises(ExperimentError):
+            multi_cu_floorplan(proposed, 0)
+        with pytest.raises(ExperimentError):
+            multi_cu_floorplan(proposed, MAX_COMPUTE_UNITS + 1)
+
+    def test_clock_preserved_with_two_cus(self, proposed):
+        """One kernel per SLR: no packing penalty, 150 MHz holds."""
+        timing = multi_cu_timing(2, 4_200_000, proposed)
+        assert timing.clock_mhz == pytest.approx(150.0)
+
+
+class TestScaling:
+    def test_second_cu_speeds_up_rkl(self, proposed):
+        one = multi_cu_timing(1, 4_200_000, proposed)
+        two = multi_cu_timing(2, 4_200_000, proposed)
+        ratio = one.rkl_seconds_per_stage / two.rkl_seconds_per_stage
+        # slightly superlinear on RKL: halving each CU's footprint also
+        # improves its gather row locality
+        assert ratio > 1.9
+
+    def test_rku_does_not_scale(self, proposed):
+        one = multi_cu_timing(1, 4_200_000, proposed)
+        two = multi_cu_timing(2, 4_200_000, proposed)
+        assert two.rku_seconds_per_step == pytest.approx(
+            one.rku_seconds_per_step
+        )
+
+    def test_step_speedup_below_cu_count(self, proposed):
+        """Amdahl: the unscaled RKU bounds the end-to-end gain below 2x."""
+        table = scaling_table(4_200_000, proposed)
+        speedup = table[0].rk_step_seconds / table[1].rk_step_seconds
+        assert 1.5 < speedup < 2.2
+
+    def test_single_cu_matches_proposed_design(self, proposed):
+        from repro.accel.cosim import design_timing
+
+        single = multi_cu_timing(1, 2_100_000, proposed)
+        reference = design_timing(proposed, 2_100_000)
+        assert single.rk_step_seconds == pytest.approx(
+            reference.rk_step_seconds, rel=0.01
+        )
+
+    def test_render(self, proposed):
+        text = render_scaling_table(scaling_table(1_400_000, proposed))
+        assert "Multi-CU scaling" in text
+
+    def test_invalid_nodes(self, proposed):
+        with pytest.raises(ExperimentError):
+            multi_cu_timing(1, 0, proposed)

@@ -1,0 +1,109 @@
+"""The Section III-D iterative II optimizer."""
+
+import pytest
+
+from repro.accel.optimizer import IIOptimizer
+from repro.errors import HLSError
+from repro.hls.arrays import ArraySpec
+from repro.hls.loops import ArrayAccess, LoopNest
+from repro.hls.resources import ResourceVector
+
+BIG_BUDGET = ResourceVector(
+    lut=10**6, ff=10**6, bram36=10**4, uram=10**3, dsp=10**4
+)
+
+
+def port_limited_loop():
+    return LoopNest(
+        name="compute",
+        trip_count=32,
+        ops_per_iter={"fadd": 8.0, "fmul": 8.0},
+        accesses=[ArrayAccess("buf", reads_per_iter=16)],
+    )
+
+
+class TestConvergence:
+    def test_partitions_until_ii_one(self):
+        opt = IIOptimizer(
+            loops={"compute": port_limited_loop()},
+            arrays={"buf": ArraySpec(name="buf", words=64)},
+            budget=BIG_BUDGET,
+        )
+        _, schedules = opt.optimize()
+        assert schedules["compute"].achieved_ii == 1
+        moves = [s for s in opt.history if s.accepted]
+        assert all("partition" in s.move for s in moves)
+        assert len(moves) >= 3  # x2, x4, x8 at least
+
+    def test_stops_at_recurrence(self):
+        loop = LoopNest(
+            name="compute",
+            trip_count=32,
+            ops_per_iter={"fadd": 4.0},
+            accesses=[ArrayAccess("buf", reads_per_iter=16)],
+            recurrence_ii=6,
+        )
+        opt = IIOptimizer(
+            loops={"compute": loop},
+            arrays={"buf": ArraySpec(name="buf", words=64)},
+            budget=BIG_BUDGET,
+        )
+        _, schedules = opt.optimize()
+        assert schedules["compute"].achieved_ii == 6
+        assert opt.history[-1].reason.startswith("unresolved")
+
+    def test_stops_on_resource_budget(self):
+        # 4096 words -> 4 BRAM at factors 1-4; factor 8 needs 8 BRAM,
+        # exceeding the budget of 6, so the DSE must stop at II 2.
+        tiny = ResourceVector(lut=10**6, ff=10**6, bram36=6, uram=10, dsp=10**4)
+        opt = IIOptimizer(
+            loops={"compute": port_limited_loop()},
+            arrays={"buf": ArraySpec(name="buf", words=4096)},
+            budget=tiny,
+        )
+        _, schedules = opt.optimize()
+        assert schedules["compute"].achieved_ii == 2
+        assert opt.history[-1].reason == "resource over-utilization"
+
+    def test_attacks_critical_loop_first(self):
+        fast = LoopNest(name="fast", trip_count=4, ops_per_iter={"fadd": 1.0})
+        slow = port_limited_loop()
+        opt = IIOptimizer(
+            loops={"fast": fast, "compute": slow},
+            arrays={"buf": ArraySpec(name="buf", words=64)},
+            budget=BIG_BUDGET,
+        )
+        opt.optimize()
+        first_move = opt.history[0]
+        assert first_move.target_loop == "compute"
+
+    def test_small_loops_start_unrolled(self):
+        small = LoopNest(name="small", trip_count=4, ops_per_iter={"fadd": 1.0})
+        opt = IIOptimizer(loops={"small": small}, arrays={}, budget=BIG_BUDGET)
+        directives, schedules = opt.optimize()
+        assert directives["small"].unroll is not None
+        assert schedules["small"].trips == 1
+
+    def test_infeasible_initial_design_rejected(self):
+        opt = IIOptimizer(
+            loops={"compute": port_limited_loop()},
+            arrays={"buf": ArraySpec(name="buf", words=64)},
+            budget=ResourceVector(lut=1, ff=1, bram36=1, uram=1, dsp=1),
+        )
+        with pytest.raises(HLSError):
+            opt.optimize()
+
+    def test_empty_loops_rejected(self):
+        with pytest.raises(HLSError):
+            IIOptimizer(loops={}, arrays={}, budget=BIG_BUDGET).optimize()
+
+    def test_latency_never_increases(self):
+        opt = IIOptimizer(
+            loops={"compute": port_limited_loop()},
+            arrays={"buf": ArraySpec(name="buf", words=64)},
+            budget=BIG_BUDGET,
+        )
+        opt.optimize()
+        for step in opt.history:
+            if step.accepted:
+                assert step.latency_after < step.latency_before

@@ -1,0 +1,37 @@
+"""Roofline phase pricing."""
+
+import pytest
+
+from repro.cpu.roofline import (
+    DIV_WEIGHT,
+    RooflinePoint,
+    phase_time_seconds,
+    weighted_flops,
+)
+from repro.errors import CalibrationError
+from repro.solver.workload import OpCount
+
+
+class TestWeightedFlops:
+    def test_divisions_weighted(self):
+        assert weighted_flops(OpCount(adds=10, divs=1)) == 10 + DIV_WEIGHT
+
+    def test_plain_ops_unweighted(self):
+        assert weighted_flops(OpCount(adds=3, muls=4)) == 7
+
+
+class TestPhaseTime:
+    def test_compute_plus_memory(self):
+        rates = RooflinePoint(name="p", gflops_effective=1.0, gbytes_per_s_effective=1.0)
+        ops = OpCount(adds=1e9, dram_reads=1e9 / 8)
+        t = phase_time_seconds(ops, rates, bytes_per_value=8)
+        assert t == pytest.approx(2.0)
+
+    def test_memory_free_phase(self):
+        rates = RooflinePoint(name="p", gflops_effective=2.0, gbytes_per_s_effective=10.0)
+        t = phase_time_seconds(OpCount(muls=2e9), rates)
+        assert t == pytest.approx(1.0)
+
+    def test_rates_validated(self):
+        with pytest.raises(CalibrationError):
+            RooflinePoint(name="p", gflops_effective=0.0, gbytes_per_s_effective=1.0)

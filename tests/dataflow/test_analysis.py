@@ -1,0 +1,72 @@
+"""Analytic steady-state results."""
+
+import pytest
+
+from repro.dataflow.analysis import (
+    critical_task,
+    pipeline_fill_cycles,
+    sequential_cycles,
+    steady_state_cycles,
+    theoretical_initiation_interval,
+    throughput_tokens_per_cycle,
+    tlp_speedup,
+)
+from repro.dataflow.graph import DataflowGraph
+from repro.dataflow.task import Task
+
+
+def chain(latencies):
+    g = DataflowGraph("chain")
+    g.chain([Task(f"t{i}", lat) for i, lat in enumerate(latencies)])
+    return g
+
+
+class TestFormulas:
+    def test_ii_is_max_latency(self):
+        assert theoretical_initiation_interval(chain((5, 9, 2))) == 9.0
+
+    def test_fill_is_chain_sum(self):
+        assert pipeline_fill_cycles(chain((5, 9, 2))) == 16.0
+
+    def test_steady_state(self):
+        g = chain((5, 9, 2))
+        assert steady_state_cycles(g, 11) == 16 + 9 * 10
+
+    def test_critical_task(self):
+        assert critical_task(chain((5, 9, 2))) == "t1"
+
+    def test_critical_task_tie_break_topological(self):
+        assert critical_task(chain((9, 9))) == "t0"
+
+    def test_throughput(self):
+        assert throughput_tokens_per_cycle(chain((4, 8)), 10) == pytest.approx(
+            1 / 8
+        )
+
+
+class TestSpeedup:
+    def test_balanced_chain_approaches_stage_count(self):
+        g = chain((10, 10, 10))
+        assert tlp_speedup(g, 1000) == pytest.approx(3.0, rel=0.01)
+
+    def test_unbalanced_chain_limited_by_bottleneck(self):
+        g = chain((1, 28, 1))
+        # sequential 30/iter vs II 28: speedup -> 30/28
+        assert tlp_speedup(g, 1000) == pytest.approx(30 / 28, rel=0.01)
+
+    def test_sequential_cycles(self):
+        assert sequential_cycles(chain((5, 9, 2)), 10) == 160
+
+
+class TestForkJoinAnalysis:
+    def test_fill_uses_longest_path(self):
+        g = DataflowGraph("fork")
+        for name, lat in [("src", 2), ("fast", 3), ("slow", 12), ("join", 2)]:
+            g.add_task(Task(name, lat))
+        from repro.dataflow.buffer import pipo
+
+        g.add_buffer(pipo("p1", "src", "fast"))
+        g.add_buffer(pipo("p2", "src", "slow"))
+        g.add_buffer(pipo("p3", "fast", "join"))
+        g.add_buffer(pipo("p4", "slow", "join"))
+        assert pipeline_fill_cycles(g) == 2 + 12 + 2

@@ -1,0 +1,39 @@
+"""Inter-task buffer semantics."""
+
+import pytest
+
+from repro.dataflow.buffer import Buffer, BufferKind, fifo, pipo
+from repro.errors import DataflowError
+
+
+class TestPIPO:
+    def test_has_two_banks(self):
+        buf = pipo("b", "a", "c")
+        assert buf.capacity == 2
+        assert buf.kind is BufferKind.PIPO
+
+    def test_pipo_capacity_fixed(self):
+        with pytest.raises(DataflowError):
+            Buffer("b", "a", "c", capacity=3, kind=BufferKind.PIPO)
+
+
+class TestFIFO:
+    def test_default_depth(self):
+        assert fifo("b", "a", "c").capacity == 2
+
+    def test_custom_depth(self):
+        assert fifo("b", "a", "c", depth=16).capacity == 16
+
+    def test_zero_depth_rejected(self):
+        with pytest.raises(DataflowError):
+            fifo("b", "a", "c", depth=0)
+
+
+class TestValidation:
+    def test_self_loop_rejected(self):
+        with pytest.raises(DataflowError):
+            pipo("b", "a", "a")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(DataflowError):
+            pipo("", "a", "c")

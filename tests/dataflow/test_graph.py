@@ -1,0 +1,97 @@
+"""Graph construction and the paper's TLP validity rules."""
+
+import pytest
+
+from repro.dataflow.buffer import fifo, pipo
+from repro.dataflow.graph import DataflowGraph
+from repro.dataflow.task import Task
+from repro.errors import DataflowValidationError
+
+
+def chain3() -> DataflowGraph:
+    g = DataflowGraph("chain")
+    g.chain([Task("a", 5), Task("b", 7), Task("c", 3)])
+    return g
+
+
+class TestConstruction:
+    def test_chain_wires_pipos(self):
+        g = chain3()
+        assert len(g.buffers) == 2
+        assert g.source_tasks() == ["a"]
+        assert g.sink_tasks() == ["c"]
+        g.validate()
+
+    def test_duplicate_task_rejected(self):
+        g = DataflowGraph("g")
+        g.add_task(Task("a", 1))
+        with pytest.raises(DataflowValidationError):
+            g.add_task(Task("a", 2))
+
+    def test_buffer_to_unknown_task_rejected(self):
+        g = DataflowGraph("g")
+        g.add_task(Task("a", 1))
+        with pytest.raises(DataflowValidationError):
+            g.add_buffer(pipo("b", "a", "ghost"))
+
+    def test_empty_graph_invalid(self):
+        with pytest.raises(DataflowValidationError):
+            DataflowGraph("g").validate()
+
+
+class TestRules:
+    def test_spsc_duplicate_channel_rejected(self):
+        g = chain3()
+        g.add_buffer(fifo("dup", "a", "b"))
+        with pytest.raises(DataflowValidationError, match="Single-Producer"):
+            g.validate()
+
+    def test_bypass_rejected(self):
+        g = chain3()
+        g.add_buffer(pipo("skip", "a", "c"))
+        with pytest.raises(DataflowValidationError, match="bypass"):
+            g.validate()
+
+    def test_cycle_rejected(self):
+        g = chain3()
+        g.add_buffer(pipo("back", "c", "a"))
+        with pytest.raises(DataflowValidationError, match="cycle"):
+            g.validate()
+
+    def test_diamond_without_direct_edge_is_legal(self):
+        """A fork-join (a -> b1, a -> b2, b1 -> c, b2 -> c) is legal: no
+        buffer bypasses a task on its own branch."""
+        g = DataflowGraph("diamond")
+        for name in ("a", "b1", "b2", "c"):
+            g.add_task(Task(name, 4))
+        g.add_buffer(pipo("p1", "a", "b1"))
+        g.add_buffer(pipo("p2", "a", "b2"))
+        g.add_buffer(pipo("p3", "b1", "c"))
+        g.add_buffer(pipo("p4", "b2", "c"))
+        g.validate()
+
+    def test_diamond_with_shortcut_is_bypass(self):
+        g = DataflowGraph("diamond")
+        for name in ("a", "b", "c"):
+            g.add_task(Task(name, 4))
+        g.add_buffer(pipo("p1", "a", "b"))
+        g.add_buffer(pipo("p2", "b", "c"))
+        g.add_buffer(pipo("shortcut", "a", "c"))
+        with pytest.raises(DataflowValidationError, match="bypass"):
+            g.validate()
+
+
+class TestQueries:
+    def test_topological_order(self):
+        order = chain3().topological_order()
+        assert order == ["a", "b", "c"]
+
+    def test_io_queries(self):
+        g = chain3()
+        assert [b.name for b in g.outputs_of("a")] == ["b_a_to_b"]
+        assert [b.name for b in g.inputs_of("b")] == ["b_a_to_b"]
+
+    def test_describe_contains_all_tasks(self):
+        text = chain3().describe()
+        for name in ("a", "b", "c"):
+            assert name in text

@@ -1,0 +1,132 @@
+"""Cycle-level simulation: steady state, stalls, deadlock."""
+
+import pytest
+
+from repro.dataflow.analysis import (
+    pipeline_fill_cycles,
+    steady_state_cycles,
+    theoretical_initiation_interval,
+)
+from repro.dataflow.buffer import fifo, pipo
+from repro.dataflow.graph import DataflowGraph
+from repro.dataflow.simulator import DataflowSimulator
+from repro.dataflow.task import Task
+from repro.errors import DataflowError
+
+
+def chain(latencies):
+    g = DataflowGraph("chain")
+    g.chain([Task(f"t{i}", lat) for i, lat in enumerate(latencies)])
+    return g
+
+
+class TestSteadyState:
+    @pytest.mark.parametrize(
+        "latencies", [(5, 7, 3), (10, 10, 10), (1, 50, 1), (8,), (3, 4)]
+    )
+    @pytest.mark.parametrize("iterations", [1, 2, 17])
+    def test_matches_analytic_formula(self, latencies, iterations):
+        g = chain(latencies)
+        trace = DataflowSimulator(g).run(iterations)
+        assert trace.total_cycles == steady_state_cycles(g, iterations)
+
+    def test_achieved_ii_equals_slowest_task(self):
+        g = chain((5, 20, 3))
+        trace = DataflowSimulator(g).run(40)
+        assert trace.achieved_initiation_interval() == pytest.approx(20.0)
+        assert trace.bottleneck_task() == "t1"
+
+    def test_pipelining_beats_sequential(self):
+        g = chain((10, 10, 10))
+        trace = DataflowSimulator(g).run(30)
+        sequential = 30 * 30
+        assert trace.total_cycles < sequential
+        # asymptotically 3x for balanced stages
+        assert sequential / trace.total_cycles > 2.5
+
+    def test_variable_latency_task(self):
+        g = DataflowGraph("var")
+        g.chain([Task("a", 5), Task("b", lambda i: 10 if i % 2 else 6)])
+        trace = DataflowSimulator(g).run(10)
+        assert trace.stats("b").iterations_completed == 10
+        # total bounded by sum of b latencies + fill
+        assert trace.total_cycles >= 6 * 5 + 10 * 5
+
+
+class TestStallAccounting:
+    def test_fast_consumer_stalls_on_input(self):
+        g = chain((20, 2))
+        trace = DataflowSimulator(g).run(10)
+        assert trace.stats("t1").input_stall_cycles > 0
+        assert trace.stats("t1").output_stall_cycles == 0
+
+    def test_slow_consumer_backpressures_producer(self):
+        g = chain((2, 20))
+        trace = DataflowSimulator(g).run(10)
+        assert trace.stats("t0").output_stall_cycles > 0
+
+    def test_bottleneck_fully_occupied(self):
+        g = chain((5, 20, 3))
+        trace = DataflowSimulator(g).run(20)
+        assert trace.stats("t1").occupancy == pytest.approx(1.0, abs=0.02)
+
+    def test_report_renders(self):
+        trace = DataflowSimulator(chain((3, 4))).run(5)
+        assert "t0" in trace.report()
+
+
+class TestBufferEffects:
+    def test_deeper_fifo_absorbs_bursts(self):
+        """With a bursty producer, a deeper FIFO reduces its output
+        stalls versus a PIPO."""
+
+        def build(depth):
+            g = DataflowGraph("burst")
+            g.add_task(Task("prod", lambda i: 2 if i % 4 else 30))
+            g.add_task(Task("cons", 9))
+            g.add_buffer(fifo("f", "prod", "cons", depth=depth))
+            return DataflowSimulator(g).run(32)
+
+        shallow = build(2).stats("prod").output_stall_cycles
+        deep = build(16).stats("prod").output_stall_cycles
+        assert deep < shallow
+
+    def test_capacity_one_still_progresses(self):
+        g = DataflowGraph("tight")
+        g.add_task(Task("a", 4))
+        g.add_task(Task("b", 4))
+        g.add_buffer(fifo("f", "a", "b", depth=1))
+        trace = DataflowSimulator(g).run(8)
+        assert trace.stats("b").iterations_completed == 8
+
+
+class TestErrors:
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(DataflowError):
+            DataflowSimulator(chain((3,))).run(0)
+
+    def test_max_cycles_guard(self):
+        with pytest.raises(DataflowError):
+            DataflowSimulator(chain((100,))).run(50, max_cycles=10)
+
+    def test_invalid_graph_rejected_at_construction(self):
+        g = chain((3, 4, 5))
+        g.add_buffer(pipo("skip", "t0", "t2"))
+        with pytest.raises(Exception):
+            DataflowSimulator(g)
+
+
+class TestForkJoin:
+    def test_parallel_branches_overlap(self):
+        g = DataflowGraph("fork")
+        for name, lat in [("src", 2), ("b1", 10), ("b2", 10), ("join", 2)]:
+            g.add_task(Task(name, lat))
+        g.add_buffer(pipo("p1", "src", "b1"))
+        g.add_buffer(pipo("p2", "src", "b2"))
+        g.add_buffer(pipo("p3", "b1", "join"))
+        g.add_buffer(pipo("p4", "b2", "join"))
+        trace = DataflowSimulator(g).run(20)
+        # branches run concurrently: II = 10, not 20
+        assert trace.achieved_initiation_interval() == pytest.approx(
+            10.0, abs=0.5
+        )

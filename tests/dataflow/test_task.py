@@ -1,0 +1,54 @@
+"""Task latency models and statistics."""
+
+import pytest
+
+from repro.dataflow.task import Task, TaskStats
+from repro.errors import DataflowError
+
+
+class TestTask:
+    def test_constant_latency(self):
+        task = Task("t", 10)
+        assert task.latency_at(0) == 10
+        assert task.max_latency(5) == 10
+        assert task.mean_latency(5) == 10.0
+
+    def test_callable_latency(self):
+        task = Task("t", lambda i: 5 + i)
+        assert task.latency_at(0) == 5
+        assert task.latency_at(3) == 8
+        assert task.max_latency(4) == 8
+        assert task.mean_latency(4) == pytest.approx(6.5)
+
+    def test_invalid_latency_rejected(self):
+        with pytest.raises(DataflowError):
+            Task("t", 0)
+
+    def test_callable_returning_zero_rejected_lazily(self):
+        task = Task("t", lambda i: 0)
+        with pytest.raises(DataflowError):
+            task.latency_at(0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(DataflowError):
+            Task("", 1)
+
+
+class TestStats:
+    def test_measured_ii(self):
+        stats = TaskStats(name="t", finish_times=[10, 20, 30, 40])
+        assert stats.measured_initiation_interval() == pytest.approx(10.0)
+
+    def test_ii_needs_two_completions(self):
+        stats = TaskStats(name="t", finish_times=[10])
+        with pytest.raises(DataflowError):
+            stats.measured_initiation_interval()
+
+    def test_occupancy(self):
+        stats = TaskStats(
+            name="t", busy_cycles=50, first_start=0, last_finish=100
+        )
+        assert stats.occupancy == pytest.approx(0.5)
+
+    def test_occupancy_without_activity(self):
+        assert TaskStats(name="t").occupancy == 0.0

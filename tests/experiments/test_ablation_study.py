@@ -1,0 +1,47 @@
+"""Ablation study experiment."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.ablation_study import (
+    render_ablation_study,
+    run_ablation_study,
+)
+
+
+@pytest.fixture(scope="module")
+def result(request):
+    return run_ablation_study(
+        num_nodes=1_400_000, proposed=request.getfixturevalue("proposed")
+    )
+
+
+class TestStudy:
+    def test_all_variants_present(self, result):
+        assert set(result.variants) == {
+            "no-element-tlp",
+            "no-node-tlp",
+            "single-load-interface",
+            "coupled-rku",
+            "shared-slr",
+        }
+
+    def test_every_optimization_contributes(self, result):
+        for name in result.variants:
+            assert result.slowdown(name) > 1.05, name
+
+    def test_memory_parallelization_among_largest(self, result):
+        """Serializing the load interfaces costs at least ~2x — the
+        Section III-C optimization is load-bearing."""
+        assert result.slowdown("single-load-interface") > 1.8
+
+    def test_slr_split_contributes_clock(self, result):
+        assert result.slowdown("shared-slr") > 1.3
+
+    def test_unknown_variant_rejected(self, result):
+        with pytest.raises(ExperimentError):
+            result.slowdown("nope")
+
+    def test_render(self, result):
+        text = render_ablation_study(result)
+        assert "coupled-rku" in text

@@ -1,0 +1,65 @@
+"""Fig. 5 reproduction checks — the paper's headline comparison."""
+
+import pytest
+
+from repro.experiments.fig5_scaling import (
+    render_fig5,
+    run_fig5,
+)
+
+
+@pytest.fixture(scope="module")
+def result(request):
+    proposed = request.getfixturevalue("proposed")
+    vitis = request.getfixturevalue("vitis")
+    return run_fig5(proposed=proposed, vitis=vitis)
+
+
+class TestHeadline:
+    def test_average_speedup_near_7_9(self, result):
+        assert result.average_speedup() == pytest.approx(7.9, abs=0.9)
+
+    def test_proposed_wins_at_every_node_count(self, result):
+        """'The proposed approach consistently surpasses the Vitis
+        optimization across all tested node counts.'"""
+        for p in result.points:
+            assert p.speedup > 1.0
+
+    def test_speedup_band_per_point(self, result):
+        for p in result.points:
+            assert 6.0 < p.speedup < 10.0
+
+    def test_growth_1_4m_to_4_2m(self, result):
+        """Paper: 3.4x time growth for 3x more nodes, both designs."""
+        assert result.proposed_growth() == pytest.approx(3.4, abs=0.35)
+        assert result.vitis_growth() == pytest.approx(3.4, abs=0.45)
+
+    def test_superlinear_growth(self, result):
+        """Both series grow faster than node count alone (3x)."""
+        assert result.proposed_growth() > 3.0
+        assert result.vitis_growth() > 3.0
+
+
+class TestSeries:
+    def test_monotone_in_node_count(self, result):
+        prop = [p.proposed_seconds for p in result.points]
+        vit = [p.vitis_seconds for p in result.points]
+        assert all(b > a for a, b in zip(prop, prop[1:]))
+        assert all(b > a for a, b in zip(vit, vit[1:]))
+
+    def test_covers_paper_node_counts(self, result):
+        nodes = [p.num_nodes for p in result.points]
+        assert nodes == [5_000, 275_000, 1_400_000, 2_100_000, 3_000_000, 4_200_000]
+
+    def test_log_decade_window(self, result):
+        """The 30-step series spans the paper plot's 10^-2..10^3 s window."""
+        all_secs = [p.proposed_seconds for p in result.points] + [
+            p.vitis_seconds for p in result.points
+        ]
+        assert min(all_secs) > 1e-2
+        assert max(all_secs) < 1e3
+
+    def test_render(self, result):
+        text = render_fig5(result)
+        assert "average speedup" in text
+        assert "4200000" in text

@@ -1,0 +1,66 @@
+"""Section IV-B reproduction checks: latency and power."""
+
+import pytest
+
+from repro.experiments.sec4b_cpu import render_sec4b_cpu, run_sec4b_cpu
+from repro.experiments.sec4b_power import (
+    PAPER_POWER_RATIO,
+    render_sec4b_power,
+    run_sec4b_power,
+)
+
+
+@pytest.fixture(scope="module")
+def cpu_result(request):
+    return run_sec4b_cpu(design=request.getfixturevalue("proposed"))
+
+
+@pytest.fixture(scope="module")
+def power_result(request):
+    return run_sec4b_power(design=request.getfixturevalue("proposed"))
+
+
+class TestLatency:
+    def test_reduction_near_45_percent(self, cpu_result):
+        assert cpu_result.latency_reduction_percent == pytest.approx(
+            45.0, abs=5.0
+        )
+
+    def test_rk_region_speedup_over_2x(self, cpu_result):
+        """The accelerator must beat the CPU's RK region by ~2.4x for the
+        end-to-end 45 % to emerge (Amdahl on the 76.5 % RK share)."""
+        assert cpu_result.rk_speedup == pytest.approx(2.4, abs=0.4)
+
+    def test_pcie_negligible(self, cpu_result):
+        assert cpu_result.pcie_seconds < 0.01 * cpu_result.fpga_rk_seconds
+
+    def test_end_to_end_composition(self, cpu_result):
+        assert cpu_result.fpga_end_to_end_seconds == pytest.approx(
+            cpu_result.cpu_non_rk_seconds
+            + cpu_result.fpga_rk_seconds
+            + cpu_result.pcie_seconds
+        )
+
+    def test_render(self, cpu_result):
+        text = render_sec4b_cpu(cpu_result)
+        assert "latency reduction" in text
+
+
+class TestPower:
+    def test_paper_accounting_ratio(self, power_result):
+        assert power_result.paper_accounting_ratio == pytest.approx(
+            PAPER_POWER_RATIO, abs=0.3
+        )
+
+    def test_core_power_near_paper(self, power_result):
+        assert power_result.fpga.core_w == pytest.approx(32.4, abs=2.0)
+
+    def test_all_in_ratio_still_favours_fpga(self, power_result):
+        assert power_result.all_in_ratio > 1.5
+
+    def test_cpu_constant(self, power_result):
+        assert power_result.cpu_w == pytest.approx(120.42)
+
+    def test_render(self, power_result):
+        text = render_sec4b_power(power_result)
+        assert "3.64" in text

@@ -1,0 +1,54 @@
+"""Table I reproduction checks."""
+
+import pytest
+
+from repro.experiments.tab1_resources import (
+    PAPER_TABLE1,
+    render_tab1,
+    run_tab1,
+)
+
+
+@pytest.fixture(scope="module")
+def result(request):
+    return run_tab1(
+        proposed=request.getfixturevalue("proposed"),
+        vitis=request.getfixturevalue("vitis"),
+    )
+
+
+class TestShapes:
+    def test_proposed_exceeds_vitis_everywhere(self, result):
+        """Table I: the optimized design uses more of every resource."""
+        for column in ("FF", "LUT", "BRAM", "URAM", "DSP"):
+            assert result.ratio(column) > 1.0, column
+
+    def test_uram_is_the_outlier(self, result):
+        """Paper: 16.8x URAM vs <= ~2x for FF/LUT; URAM must dominate the
+        ratios by a wide margin."""
+        uram = result.ratio("URAM")
+        assert uram > 6.0
+        for column in ("FF", "LUT"):
+            assert uram > 3.0 * result.ratio(column)
+
+    def test_ff_lut_ratios_moderate(self, result):
+        """FF/LUT grow by no more than ~2x (paper: 1.5x)."""
+        assert result.ratio("FF") < 2.5
+        assert result.ratio("LUT") < 2.5
+
+    def test_everything_below_half_device(self, result):
+        assert result.all_below(50.0)
+
+    def test_proposed_uram_close_to_paper(self, result):
+        assert result.rows["proposed"]["URAM"] == pytest.approx(
+            PAPER_TABLE1["proposed"]["URAM"], abs=2.0
+        )
+
+    def test_clocks_recorded(self, result):
+        assert result.clocks_mhz["proposed"] == 150.0
+        assert result.clocks_mhz["vitis-optimized"] == 100.0
+
+    def test_render(self, result):
+        text = render_tab1(result)
+        assert "paper values" in text
+        assert "41.15" in text

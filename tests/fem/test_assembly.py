@@ -1,0 +1,107 @@
+"""Gather/scatter assembly and the lumped mass matrix."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FEMError
+from repro.fem.assembly import (
+    assembly_multiplicity,
+    direct_stiffness_summation,
+    gather,
+    lumped_mass,
+    scatter_add,
+    scatter_add_many,
+)
+from repro.fem.geometry import compute_geometry
+
+
+@pytest.fixture(scope="module")
+def assembled(small_periodic_mesh_module=None):
+    from repro.fem.reference import reference_hex
+    from repro.mesh.hexmesh import periodic_box_mesh
+
+    mesh = periodic_box_mesh(3, 2)
+    ref = reference_hex(2)
+    geom = compute_geometry(mesh.corner_coords, ref)
+    return mesh, geom, ref
+
+
+class TestGatherScatter:
+    def test_gather_then_scatter_multiplies_by_multiplicity(self, assembled):
+        mesh, _geom, _ref = assembled
+        field = np.arange(mesh.num_nodes, dtype=float)
+        gathered = gather(field, mesh.connectivity)
+        back = scatter_add(gathered, mesh.connectivity, mesh.num_nodes)
+        mult = assembly_multiplicity(mesh.connectivity, mesh.num_nodes)
+        assert np.allclose(back, field * mult)
+
+    def test_gather_stacked_fields(self, assembled):
+        mesh, _geom, _ref = assembled
+        fields = np.stack(
+            [np.arange(mesh.num_nodes, dtype=float), np.ones(mesh.num_nodes)]
+        )
+        gathered = gather(fields, mesh.connectivity)
+        assert gathered.shape == (2, mesh.num_elements, 27)
+        assert np.allclose(gathered[1], 1.0)
+
+    def test_scatter_preserves_total(self, assembled, rng=None):
+        mesh, _geom, _ref = assembled
+        values = np.random.default_rng(7).normal(
+            size=(mesh.num_elements, 27)
+        )
+        out = scatter_add(values, mesh.connectivity, mesh.num_nodes)
+        assert out.sum() == pytest.approx(values.sum(), rel=1e-12)
+
+    def test_scatter_many_matches_loop(self, assembled):
+        mesh, _geom, _ref = assembled
+        values = np.random.default_rng(8).normal(
+            size=(3, mesh.num_elements, 27)
+        )
+        many = scatter_add_many(values, mesh.connectivity, mesh.num_nodes)
+        for i in range(3):
+            single = scatter_add(values[i], mesh.connectivity, mesh.num_nodes)
+            assert np.allclose(many[i], single)
+
+    def test_shape_mismatch_rejected(self, assembled):
+        mesh, _geom, _ref = assembled
+        with pytest.raises(FEMError):
+            scatter_add(
+                np.zeros((mesh.num_elements, 5)),
+                mesh.connectivity,
+                mesh.num_nodes,
+            )
+
+    def test_dss_makes_copies_agree(self, assembled):
+        mesh, _geom, _ref = assembled
+        values = np.random.default_rng(9).normal(size=(mesh.num_elements, 27))
+        dss = direct_stiffness_summation(
+            values, mesh.connectivity, mesh.num_nodes
+        )
+        # Every copy of the same global node must hold the same value.
+        flat_nodes = mesh.connectivity.ravel()
+        flat_vals = dss.ravel()
+        for node in np.unique(flat_nodes)[:50]:
+            vals = flat_vals[flat_nodes == node]
+            assert np.allclose(vals, vals[0])
+
+
+class TestLumpedMass:
+    def test_total_mass_is_domain_volume(self, assembled):
+        mesh, geom, ref = assembled
+        mass = lumped_mass(mesh.connectivity, mesh.num_nodes, geom, ref)
+        assert mass.sum() == pytest.approx((2 * np.pi) ** 3, rel=1e-12)
+
+    def test_all_entries_positive(self, assembled):
+        mesh, geom, ref = assembled
+        mass = lumped_mass(mesh.connectivity, mesh.num_nodes, geom, ref)
+        assert (mass > 0).all()
+
+    def test_uniform_mesh_mass_pattern(self, assembled):
+        """On the uniform periodic mesh every node sees identical total
+        w*|J| regardless of multiplicity class only for matching GLL
+        weights; at least the distinct values must be few."""
+        mesh, geom, ref = assembled
+        mass = lumped_mass(mesh.connectivity, mesh.num_nodes, geom, ref)
+        distinct = np.unique(np.round(mass, 10))
+        # order-2 periodic mesh: corner/edge/face/interior node classes
+        assert len(distinct) <= 4

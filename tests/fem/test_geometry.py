@@ -1,0 +1,117 @@
+"""Isoparametric geometry: Jacobians on affine and distorted elements."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FEMError
+from repro.fem.geometry import (
+    compute_geometry,
+    trilinear_shape,
+    trilinear_shape_gradients,
+)
+from repro.fem.reference import reference_hex
+
+
+def unit_cube_corners(scale=1.0, shift=(0.0, 0.0, 0.0)):
+    """VTK-ordered corners of an axis-aligned cube."""
+    base = np.array(
+        [
+            (0, 0, 0),
+            (1, 0, 0),
+            (1, 1, 0),
+            (0, 1, 0),
+            (0, 0, 1),
+            (1, 0, 1),
+            (1, 1, 1),
+            (0, 1, 1),
+        ],
+        dtype=float,
+    )
+    return (base * scale + np.asarray(shift))[None, :, :]
+
+
+class TestTrilinearShape:
+    def test_partition_of_unity(self):
+        pts = np.array([[0.3, -0.2, 0.9], [0.0, 0.0, 0.0]])
+        values = trilinear_shape(pts)
+        assert np.allclose(values.sum(axis=1), 1.0)
+
+    def test_kronecker_at_corners(self):
+        from repro.fem.geometry import _CORNER_SIGNS
+
+        values = trilinear_shape(_CORNER_SIGNS)
+        assert np.allclose(values, np.eye(8), atol=1e-14)
+
+    def test_gradient_is_consistent_with_finite_difference(self):
+        pts = np.array([[0.2, -0.4, 0.6]])
+        grad = trilinear_shape_gradients(pts)
+        eps = 1e-6
+        for d in range(3):
+            plus = pts.copy()
+            plus[0, d] += eps
+            minus = pts.copy()
+            minus[0, d] -= eps
+            fd = (trilinear_shape(plus) - trilinear_shape(minus)) / (2 * eps)
+            assert np.allclose(grad[0, :, d], fd[0], atol=1e-8)
+
+
+class TestAffineGeometry:
+    def test_unit_cube_jacobian(self, ref2):
+        geom = compute_geometry(unit_cube_corners(), ref2)
+        assert geom.is_affine
+        # x(xi) = (xi+1)/2 => J = I/2, det = 1/8
+        assert np.allclose(geom.jacobian[0, 0], np.eye(3) * 0.5)
+        assert geom.det_jacobian[0, 0] == pytest.approx(0.125)
+        assert np.allclose(geom.inverse_jacobian[0, 0], np.eye(3) * 2.0)
+
+    def test_scaled_cube_volume(self, ref2):
+        geom = compute_geometry(unit_cube_corners(scale=3.0), ref2)
+        scale = geom.quadrature_scale(ref2)
+        # total volume = 27
+        vol = float(scale.sum()) if scale.shape[1] > 1 else float(
+            np.abs(geom.det_jacobian[0, 0]) * ref2.weights_flat().sum()
+        )
+        assert vol == pytest.approx(27.0, rel=1e-12)
+
+    def test_translation_does_not_change_jacobian(self, ref2):
+        a = compute_geometry(unit_cube_corners(), ref2)
+        b = compute_geometry(unit_cube_corners(shift=(5, -2, 7)), ref2)
+        assert np.allclose(a.jacobian, b.jacobian)
+
+    def test_sheared_parallelepiped_is_affine(self, ref2):
+        corners = unit_cube_corners()[0]
+        shear = np.array(
+            [corner + np.array([0.3 * corner[1], 0.0, 0.0]) for corner in corners]
+        )[None]
+        geom = compute_geometry(shear, ref2)
+        assert geom.is_affine
+        # volume preserved by shear
+        assert abs(geom.det_jacobian[0, 0]) == pytest.approx(0.125)
+
+
+class TestCurvedGeometry:
+    def test_distorted_element_not_affine(self, ref2):
+        corners = unit_cube_corners().copy()
+        corners[0, 6] += np.array([0.3, 0.2, 0.1])  # pull one corner
+        geom = compute_geometry(corners, ref2)
+        assert not geom.is_affine
+        assert geom.jacobian.shape == (1, 27, 3, 3)
+        assert np.all(geom.det_jacobian > 0)
+
+    def test_inverse_is_actual_inverse(self, ref2):
+        corners = unit_cube_corners().copy()
+        corners[0, 6] += np.array([0.25, 0.15, 0.05])
+        geom = compute_geometry(corners, ref2)
+        product = np.einsum(
+            "eqpr,eqrs->eqps", geom.jacobian, geom.inverse_jacobian
+        )
+        assert np.allclose(product, np.eye(3)[None, None], atol=1e-12)
+
+    def test_degenerate_element_rejected(self, ref2):
+        corners = np.zeros((1, 8, 3))  # all corners coincide
+        with pytest.raises(FEMError):
+            compute_geometry(corners, ref2)
+
+    def test_bad_shape_rejected(self, ref2):
+        with pytest.raises(FEMError):
+            compute_geometry(np.zeros((1, 7, 3)), ref2)

@@ -1,0 +1,85 @@
+"""GLL points and weights: known values, symmetry, exactness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FEMError
+from repro.fem.gll import gll_points, gll_points_weights, gll_weights
+from repro.fem.quadrature import integrate_1d, max_exact_degree, monomial_integral
+
+
+class TestKnownValues:
+    def test_two_points_are_endpoints(self):
+        assert np.allclose(gll_points(2), [-1.0, 1.0])
+        assert np.allclose(gll_weights(2), [1.0, 1.0])
+
+    def test_three_points(self):
+        assert np.allclose(gll_points(3), [-1.0, 0.0, 1.0])
+        assert np.allclose(gll_weights(3), [1 / 3, 4 / 3, 1 / 3])
+
+    def test_four_points(self):
+        expected = [-1.0, -np.sqrt(1 / 5), np.sqrt(1 / 5), 1.0]
+        assert np.allclose(gll_points(4), expected)
+        assert np.allclose(gll_weights(4), [1 / 6, 5 / 6, 5 / 6, 1 / 6])
+
+    def test_five_points(self):
+        expected = [-1.0, -np.sqrt(3 / 7), 0.0, np.sqrt(3 / 7), 1.0]
+        assert np.allclose(gll_points(5), expected)
+        assert np.allclose(
+            gll_weights(5), [1 / 10, 49 / 90, 32 / 45, 49 / 90, 1 / 10]
+        )
+
+
+class TestStructure:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 8, 12, 16])
+    def test_weights_sum_to_two(self, n):
+        assert gll_weights(n).sum() == pytest.approx(2.0, abs=1e-13)
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 8, 12])
+    def test_points_symmetric(self, n):
+        pts = gll_points(n)
+        assert np.allclose(pts, -pts[::-1], atol=1e-14)
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 8, 12])
+    def test_weights_symmetric_and_positive(self, n):
+        wts = gll_weights(n)
+        assert np.allclose(wts, wts[::-1], atol=1e-14)
+        assert (wts > 0).all()
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 8])
+    def test_points_sorted_with_endpoints(self, n):
+        pts = gll_points(n)
+        assert pts[0] == -1.0 and pts[-1] == 1.0
+        assert (np.diff(pts) > 0).all()
+
+    def test_rejects_single_point(self):
+        with pytest.raises(FEMError):
+            gll_points(1)
+
+    def test_points_weights_pair(self):
+        pts, wts = gll_points_weights(6)
+        assert pts.shape == wts.shape == (6,)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 8])
+    def test_exact_up_to_2n_minus_3(self, n):
+        for degree in range(0, max_exact_degree(n) + 1):
+            approx = integrate_1d(lambda x, d=degree: x**d, n)
+            assert approx == pytest.approx(
+                monomial_integral(degree), abs=1e-12
+            ), f"degree {degree} failed for n={n}"
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 6])
+    def test_inexact_beyond_2n_minus_2(self, n):
+        degree = max_exact_degree(n) + 1  # even degree, nonzero error
+        approx = integrate_1d(lambda x: x**degree, n)
+        assert abs(approx - monomial_integral(degree)) > 1e-6
+
+    def test_smooth_function_convergence(self):
+        exact = 2.0 * np.sin(1.0)
+        errors = [
+            abs(integrate_1d(np.cos, n) - exact) for n in (3, 5, 7)
+        ]
+        assert errors[0] > errors[1] > errors[2]
+        assert errors[2] < 1e-10

@@ -1,0 +1,86 @@
+"""Lagrange basis and spectral differentiation matrix."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FEMError
+from repro.fem.gll import gll_points
+from repro.fem.lagrange import (
+    barycentric_weights,
+    derivative_at_points,
+    differentiation_matrix,
+    interpolation_matrix,
+    lagrange_basis,
+)
+
+
+class TestBasis:
+    def test_kronecker_property_at_nodes(self):
+        nodes = gll_points(5)
+        values = lagrange_basis(nodes, nodes)
+        assert np.allclose(values, np.eye(5), atol=1e-13)
+
+    def test_partition_of_unity(self):
+        nodes = gll_points(6)
+        x = np.linspace(-1, 1, 37)
+        values = lagrange_basis(nodes, x)
+        assert np.allclose(values.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_reproduces_polynomials_exactly(self):
+        nodes = gll_points(4)  # degree-3 basis
+        poly = lambda x: 2.0 - x + 3.0 * x**2 - 0.5 * x**3
+        x = np.linspace(-1, 1, 21)
+        interp = lagrange_basis(nodes, x) @ poly(nodes)
+        assert np.allclose(interp, poly(x), atol=1e-12)
+
+    def test_rejects_duplicate_nodes(self):
+        with pytest.raises(FEMError):
+            barycentric_weights(np.array([0.0, 0.5, 0.5]))
+
+    def test_rejects_short_node_set(self):
+        with pytest.raises(FEMError):
+            barycentric_weights(np.array([1.0]))
+
+
+class TestDifferentiationMatrix:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 8])
+    def test_derivative_of_constant_is_zero(self, n):
+        d = differentiation_matrix(gll_points(n))
+        assert np.allclose(d @ np.ones(n), 0.0, atol=1e-12)
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 8])
+    def test_exact_for_basis_degree(self, n):
+        nodes = gll_points(n)
+        d = differentiation_matrix(nodes)
+        for degree in range(n):  # exact up to degree n-1
+            values = nodes**degree
+            expected = degree * nodes ** max(degree - 1, 0) if degree else 0 * nodes
+            assert np.allclose(d @ values, expected, atol=1e-10)
+
+    def test_antisymmetric_spectrum_structure(self):
+        # Spectral D on symmetric nodes satisfies D = -J D J with J the
+        # flip; equivalent to d[i, j] = -d[n-1-i, n-1-j].
+        d = differentiation_matrix(gll_points(6))
+        assert np.allclose(d, -d[::-1, ::-1], atol=1e-12)
+
+    def test_derivative_matches_barycentric_evaluation(self):
+        nodes = gll_points(5)
+        x = np.linspace(-0.9, 0.9, 11)
+        values = derivative_at_points(nodes, x)
+        poly = nodes**3
+        exact = 3.0 * x**2
+        assert np.allclose(values @ poly, exact, atol=1e-10)
+
+
+class TestInterpolationMatrix:
+    def test_identity_on_same_nodes(self):
+        nodes = gll_points(4)
+        mat = interpolation_matrix(nodes, nodes)
+        assert np.allclose(mat, np.eye(4), atol=1e-13)
+
+    def test_maps_to_finer_grid_exactly_for_polynomials(self):
+        coarse = gll_points(4)
+        fine = gll_points(9)
+        mat = interpolation_matrix(coarse, fine)
+        poly = lambda x: 1.0 + x - 2.0 * x**2 + x**3
+        assert np.allclose(mat @ poly(coarse), poly(fine), atol=1e-12)

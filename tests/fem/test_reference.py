@@ -1,0 +1,48 @@
+"""Reference hexahedron tensor-product data."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FEMError
+from repro.fem.reference import reference_hex
+
+
+class TestReferenceHex:
+    def test_sizes(self, ref2):
+        assert ref2.order == 2
+        assert ref2.n1 == 3
+        assert ref2.num_nodes == 27
+
+    def test_weights_3d_sum_to_cube_volume(self, ref2):
+        assert ref2.weights_3d().sum() == pytest.approx(8.0, abs=1e-12)
+
+    def test_weights_flat_matches_3d(self, ref2):
+        assert np.allclose(ref2.weights_flat(), ref2.weights_3d().ravel())
+
+    def test_nodes_3d_lexicographic_x_fastest(self, ref2):
+        nodes = ref2.nodes_3d()
+        # first three nodes vary in x only
+        assert np.allclose(nodes[0], [-1, -1, -1])
+        assert np.allclose(nodes[1], [0, -1, -1])
+        assert np.allclose(nodes[2], [1, -1, -1])
+        # node n1 moves one step in y
+        assert np.allclose(nodes[3], [-1, 0, -1])
+        # node n1*n1 moves one step in z
+        assert np.allclose(nodes[9], [-1, -1, 0])
+
+    def test_nodes_cover_cube_corners(self, ref2):
+        nodes = ref2.nodes_3d()
+        assert nodes.min() == -1.0 and nodes.max() == 1.0
+
+    def test_cached_instances_identical(self):
+        assert reference_hex(2) is reference_hex(2)
+
+    @pytest.mark.parametrize("order", [1, 2, 3, 4])
+    def test_orders(self, order):
+        ref = reference_hex(order)
+        assert ref.num_nodes == (order + 1) ** 3
+        assert ref.diff.shape == (order + 1, order + 1)
+
+    def test_rejects_order_zero(self):
+        with pytest.raises(FEMError):
+            reference_hex(0)

@@ -1,0 +1,67 @@
+"""DDR timing and the gather-locality model."""
+
+import pytest
+
+from repro.errors import FPGAError
+from repro.fpga.ddr import (
+    DDR4_2400,
+    DDRTimings,
+    GATHER_HIT_RATE_MAX,
+    GATHER_HIT_RATE_MIN,
+    gather_access_cycles,
+    gather_hit_rate,
+    streaming_cycles,
+)
+
+
+class TestHitRate:
+    def test_monotonically_decreasing_with_footprint(self):
+        rates = [gather_hit_rate(n) for n in (10_000, 10**5, 10**6, 10**7)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_clamped_to_band(self):
+        assert gather_hit_rate(10) == GATHER_HIT_RATE_MAX
+        assert gather_hit_rate(10**12) == GATHER_HIT_RATE_MIN
+
+    def test_paper_growth_calibration(self):
+        """The per-access cost must grow ~13% from 1.4M to 4.2M nodes —
+        the source of Fig. 5's 3.4x time growth for 3x nodes."""
+        a14 = gather_access_cycles(1_400_000)
+        a42 = gather_access_cycles(4_200_000)
+        assert a42 / a14 == pytest.approx(1.133, abs=0.02)
+
+    def test_invalid_nodes(self):
+        with pytest.raises(FPGAError):
+            gather_hit_rate(0)
+
+
+class TestAccessCost:
+    def test_between_hit_and_miss(self):
+        cost = gather_access_cycles(10**6)
+        assert DDR4_2400.row_hit_cycles < cost < DDR4_2400.row_miss_cycles
+
+    def test_cost_increases_with_footprint(self):
+        assert gather_access_cycles(4_200_000) > gather_access_cycles(5_000)
+
+
+class TestStreaming:
+    def test_zero_bytes_free(self):
+        assert streaming_cycles(0) == 0.0
+
+    def test_setup_plus_beats(self):
+        cycles = streaming_cycles(256)
+        assert cycles == DDR4_2400.burst_setup_cycles + 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(FPGAError):
+            streaming_cycles(-1)
+
+
+class TestTimingsValidation:
+    def test_miss_cheaper_than_hit_rejected(self):
+        with pytest.raises(FPGAError):
+            DDRTimings(row_hit_cycles=10, row_miss_cycles=5)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(FPGAError):
+            DDRTimings(bytes_per_cycle=0)

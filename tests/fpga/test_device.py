@@ -1,0 +1,51 @@
+"""Alveo U200 device model."""
+
+import pytest
+
+from repro.errors import FPGAError
+from repro.fpga.device import ALVEO_U200, FPGADevice, SLR
+from repro.hls.resources import ResourceVector
+
+
+class TestU200:
+    def test_three_slrs(self):
+        assert len(ALVEO_U200.slrs) == 3
+
+    def test_public_totals(self):
+        totals = ALVEO_U200.totals()
+        assert totals.lut == pytest.approx(1_182_240)
+        assert totals.ff == pytest.approx(2_364_480)
+        assert totals.bram36 == pytest.approx(2_160)
+        assert totals.uram == pytest.approx(960)
+        assert totals.dsp == pytest.approx(6_840)
+
+    def test_four_ddr_channels_of_16gib(self):
+        assert ALVEO_U200.num_ddr_channels == 4
+        assert ALVEO_U200.ddr_capacity_gib_per_channel == 16
+
+    def test_ddr_attach_pattern(self):
+        attached = [s.name for s in ALVEO_U200.ddr_attached_slrs()]
+        assert attached == ["SLR0", "SLR2"]
+
+    def test_slr_lookup(self):
+        assert ALVEO_U200.slr_by_name("SLR1").has_ddr_attach is False
+        with pytest.raises(FPGAError):
+            ALVEO_U200.slr_by_name("SLR9")
+
+
+class TestValidation:
+    def test_device_needs_slrs(self):
+        with pytest.raises(FPGAError):
+            FPGADevice(
+                name="x",
+                slrs=(),
+                num_ddr_channels=1,
+                ddr_capacity_gib_per_channel=1,
+                sll_crossing_latency_cycles=1,
+                max_kernel_clock_mhz=100,
+                max_axi_interfaces_per_kernel=4,
+            )
+
+    def test_slr_needs_positive_resources(self):
+        with pytest.raises(FPGAError):
+            SLR(name="bad", resources=ResourceVector(), has_ddr_attach=False)

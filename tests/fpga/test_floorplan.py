@@ -1,0 +1,95 @@
+"""SLR floorplanning and the congestion -> clock model."""
+
+import pytest
+
+from repro.errors import FloorplanError
+from repro.fpga.device import ALVEO_U200
+from repro.fpga.floorplan import (
+    KernelPlacement,
+    achievable_clock_mhz,
+    clock_for_floorplan,
+    plan_floorplan,
+)
+from repro.hls.resources import ResourceVector
+
+
+def demand(lut=50_000, ff=60_000, bram=50, uram=10, dsp=200):
+    return ResourceVector(lut=lut, ff=ff, bram36=bram, uram=uram, dsp=dsp)
+
+
+class TestPlacement:
+    def test_fixed_assignments_honored(self):
+        plan = plan_floorplan(
+            ALVEO_U200,
+            [
+                KernelPlacement("rkl", demand(), needs_ddr_attach=True, slr="SLR0"),
+                KernelPlacement("rku", demand(), slr="SLR1"),
+            ],
+        )
+        assert plan.assignments == {"rkl": "SLR0", "rku": "SLR1"}
+
+    def test_ddr_affinity_enforced(self):
+        with pytest.raises(FloorplanError):
+            plan_floorplan(
+                ALVEO_U200,
+                [
+                    KernelPlacement(
+                        "rkl", demand(), needs_ddr_attach=True, slr="SLR1"
+                    )
+                ],
+            )
+
+    def test_greedy_spreads_load(self):
+        plan = plan_floorplan(
+            ALVEO_U200,
+            [
+                KernelPlacement("a", demand(lut=200_000)),
+                KernelPlacement("b", demand(lut=200_000)),
+            ],
+        )
+        slrs = set(plan.assignments.values())
+        assert len(slrs) == 2  # not packed together
+
+    def test_over_capacity_rejected(self):
+        with pytest.raises(FloorplanError):
+            plan_floorplan(
+                ALVEO_U200,
+                [
+                    KernelPlacement("big", demand(lut=500_000), slr="SLR0"),
+                ],
+            )
+
+    def test_sll_crossings(self):
+        plan = plan_floorplan(
+            ALVEO_U200,
+            [
+                KernelPlacement("rkl", demand(), slr="SLR0"),
+                KernelPlacement("rku", demand(), slr="SLR1"),
+            ],
+        )
+        assert plan.crossings("rkl") == 0
+        assert plan.crossings("rku") == 1
+
+
+class TestClockModel:
+    def test_monotone_derating(self):
+        clocks = [achievable_clock_mhz(p, 300.0) for p in (0.2, 0.5, 0.8)]
+        assert clocks[0] >= clocks[1] >= clocks[2]
+
+    def test_quantized_to_25mhz(self):
+        clock = achievable_clock_mhz(0.41, 300.0)
+        assert clock % 25 == 0
+
+    def test_floor_respected(self):
+        assert achievable_clock_mhz(5.0, 300.0) >= 50.0
+
+    def test_paper_operating_points(self, proposed, vitis):
+        """Split design -> 150 MHz; packed design -> 100 MHz (paper
+        Section IV-A)."""
+        assert proposed.clock_mhz == pytest.approx(150.0)
+        assert vitis.clock_mhz == pytest.approx(100.0)
+
+    def test_packing_penalty_visible(self, proposed, vitis):
+        assert vitis.floorplan.max_pressure() > (
+            proposed.floorplan.max_pressure()
+        )

@@ -1,0 +1,27 @@
+"""PCIe link model."""
+
+import pytest
+
+from repro.errors import FPGAError
+from repro.fpga.pcie import PCIE_GEN3_X16, PCIeLink
+
+
+class TestTransfers:
+    def test_zero_bytes_free(self):
+        assert PCIE_GEN3_X16.transfer_seconds(0) == 0.0
+
+    def test_latency_plus_bandwidth(self):
+        secs = PCIE_GEN3_X16.transfer_seconds(12e9)
+        assert secs == pytest.approx(1.0 + 5e-6, rel=1e-6)
+
+    def test_small_transfer_latency_dominated(self):
+        secs = PCIE_GEN3_X16.transfer_seconds(4096)
+        assert secs > 4.9e-6
+
+    def test_negative_rejected(self):
+        with pytest.raises(FPGAError):
+            PCIE_GEN3_X16.transfer_seconds(-1)
+
+    def test_validation(self):
+        with pytest.raises(FPGAError):
+            PCIeLink(name="bad", effective_gb_per_s=0.0)

@@ -1,0 +1,53 @@
+"""FPGA power model."""
+
+import pytest
+
+from repro.errors import FPGAError
+from repro.fpga.power import FPGAPowerModel, PowerReport
+from repro.hls.resources import ResourceVector
+
+
+class TestCorePower:
+    def test_static_floor(self):
+        model = FPGAPowerModel()
+        assert model.core_power_w(ResourceVector(), 150.0) >= 14.0
+
+    def test_scales_with_clock(self):
+        model = FPGAPowerModel()
+        res = ResourceVector(lut=100_000, ff=100_000, dsp=500)
+        p150 = model.core_power_w(res, 150.0)
+        p100 = model.core_power_w(res, 100.0)
+        assert p150 > p100
+        dynamic_150 = p150 - model.static_core_w
+        dynamic_100 = p100 - model.static_core_w
+        assert dynamic_100 / dynamic_150 == pytest.approx(100 / 150, rel=1e-9)
+
+    def test_scales_with_resources(self):
+        model = FPGAPowerModel()
+        small = model.core_power_w(ResourceVector(lut=10_000), 150.0)
+        big = model.core_power_w(ResourceVector(lut=400_000), 150.0)
+        assert big > small
+
+    def test_invalid_clock(self):
+        with pytest.raises(FPGAError):
+            FPGAPowerModel().core_power_w(ResourceVector(), 0.0)
+
+
+class TestReport:
+    def test_components(self):
+        report = PowerReport(core_w=32.4, peripherals_w=30.7, rest_w=1.7)
+        assert report.total_w == pytest.approx(64.8)
+        assert report.paper_accounting_w == pytest.approx(34.1)
+
+    def test_design_power_near_paper(self, proposed):
+        """The proposed design must land close to the paper's 32.4 W core
+        application power."""
+        report = proposed.power_report()
+        assert report.core_w == pytest.approx(32.4, abs=2.0)
+        assert report.peripherals_w == pytest.approx(30.7)
+        assert report.rest_w == pytest.approx(1.7)
+
+    def test_baseline_uses_less_core_power(self, proposed, vitis):
+        """Fewer resources at a lower clock: the baseline's core power
+        must come in below the proposed design's."""
+        assert vitis.power_report().core_w < proposed.power_report().core_w

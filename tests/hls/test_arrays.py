@@ -1,0 +1,80 @@
+"""On-chip array binding to BRAM/URAM/LUTRAM."""
+
+import pytest
+
+from repro.errors import HLSError
+from repro.hls.arrays import (
+    ArraySpec,
+    MemoryKind,
+    bind_array,
+)
+
+
+class TestBindingPolicy:
+    def test_tiny_array_goes_to_lutram(self):
+        binding = bind_array(ArraySpec(name="a", words=16))
+        assert binding.kind is MemoryKind.LUTRAM
+        assert binding.bram36 == 0
+
+    def test_medium_array_goes_to_bram(self):
+        binding = bind_array(ArraySpec(name="a", words=4096))
+        assert binding.kind is MemoryKind.BRAM
+        assert binding.bram36 >= 4  # 4096 * 32b = 128Kib / 36Kib
+
+    def test_large_array_goes_to_uram(self):
+        binding = bind_array(ArraySpec(name="a", words=200_000))
+        assert binding.kind is MemoryKind.URAM
+        assert binding.uram == pytest.approx(
+            -(-200_000 * 32 // (288 * 1024))
+        )
+
+    def test_forced_kind_respected_for_big_banks(self):
+        binding = bind_array(
+            ArraySpec(name="a", words=4096, kind=MemoryKind.URAM)
+        )
+        assert binding.kind is MemoryKind.URAM
+
+    def test_complete_partition_degrades_to_registers(self):
+        """A heavily partitioned array becomes LUTRAM even when BRAM was
+        requested — the banks are too small for a block RAM."""
+        spec = ArraySpec(
+            name="a", words=27, partition_factor=27, kind=MemoryKind.BRAM
+        )
+        binding = bind_array(spec)
+        assert binding.kind is MemoryKind.LUTRAM
+
+
+class TestPartitioning:
+    def test_banks_multiply_primitives(self):
+        single = bind_array(ArraySpec(name="a", words=8192))
+        split = bind_array(ArraySpec(name="a", words=8192, partition_factor=4))
+        assert split.banks == 4
+        assert split.bram36 >= single.bram36
+
+    def test_ports_scale_with_partition(self):
+        spec = ArraySpec(name="a", words=1024, partition_factor=8)
+        assert spec.ports == 16
+
+    def test_partition_cannot_exceed_words(self):
+        with pytest.raises(HLSError):
+            ArraySpec(name="a", words=4, partition_factor=8)
+
+    def test_with_partition_copy(self):
+        spec = ArraySpec(name="a", words=64)
+        new = spec.with_partition(4)
+        assert new.partition_factor == 4
+        assert spec.partition_factor == 1
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"words": 0},
+            {"words": 4, "width_bits": 0},
+            {"words": 4, "partition_factor": 0},
+        ],
+    )
+    def test_invalid_spec(self, kwargs):
+        with pytest.raises(HLSError):
+            ArraySpec(name="a", **kwargs)

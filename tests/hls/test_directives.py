@@ -1,0 +1,79 @@
+"""HLS directives and the Vitis auto-optimization strategy."""
+
+import pytest
+
+from repro.errors import DirectiveError
+from repro.hls.arrays import ArraySpec
+from repro.hls.directives import (
+    ArrayPartitionDirective,
+    DirectiveSet,
+    PipelineDirective,
+    UnrollDirective,
+    vitis_default_directives,
+)
+from repro.hls.loops import ArrayAccess, LoopNest
+
+
+class TestDirectives:
+    def test_pipeline_target_validation(self):
+        with pytest.raises(DirectiveError):
+            PipelineDirective(target_ii=0)
+
+    def test_unroll_validation(self):
+        with pytest.raises(DirectiveError):
+            UnrollDirective(factor=0)
+
+    def test_partition_factor_clamped_to_words(self):
+        ds = DirectiveSet()
+        ds.add_partition(ArrayPartitionDirective(array="a", factor=64))
+        spec = ArraySpec(name="a", words=16)
+        assert ds.partition_factor(spec) == 16
+
+    def test_complete_partition(self):
+        ds = DirectiveSet()
+        ds.add_partition(
+            ArrayPartitionDirective(array="a", factor=1, complete=True)
+        )
+        assert ds.partition_factor(ArraySpec(name="a", words=27)) == 27
+
+    def test_duplicate_partition_rejected(self):
+        ds = DirectiveSet()
+        ds.add_partition(ArrayPartitionDirective(array="a", factor=2))
+        with pytest.raises(DirectiveError):
+            ds.add_partition(ArrayPartitionDirective(array="a", factor=4))
+
+    def test_unroll_clamped_to_trip_count(self):
+        loop = LoopNest(name="l", trip_count=5)
+        ds = DirectiveSet(unroll=UnrollDirective(factor=100))
+        assert ds.effective_unroll(loop) == 5
+
+
+class TestVitisDefaults:
+    def test_small_loop_fully_unrolled(self):
+        loop = LoopNest(name="l", trip_count=8)
+        ds = vitis_default_directives(loop, {})
+        assert ds.pipeline is not None
+        assert ds.unroll is not None and ds.unroll.factor == 8
+
+    def test_large_loop_only_pipelined(self):
+        loop = LoopNest(name="l", trip_count=128)
+        ds = vitis_default_directives(loop, {})
+        assert ds.pipeline is not None
+        assert ds.unroll is None
+
+    def test_small_arrays_completely_partitioned(self):
+        loop = LoopNest(
+            name="l",
+            trip_count=27,
+            accesses=[
+                ArrayAccess("small", reads_per_iter=1),
+                ArrayAccess("big", reads_per_iter=1),
+            ],
+        )
+        arrays = {
+            "small": ArraySpec(name="small", words=27),
+            "big": ArraySpec(name="big", words=512),
+        }
+        ds = vitis_default_directives(loop, arrays)
+        assert ds.partition_factor(arrays["small"]) == 27
+        assert ds.partition_factor(arrays["big"]) == 1

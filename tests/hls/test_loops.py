@@ -1,0 +1,61 @@
+"""Loop-nest IR."""
+
+import pytest
+
+from repro.errors import HLSError
+from repro.hls.loops import ArrayAccess, LoopNest
+
+
+class TestLoopNest:
+    def test_depth_estimated_from_op_mix(self):
+        loop = LoopNest(
+            name="l", trip_count=10, ops_per_iter={"fadd": 2, "fmul": 3}
+        )
+        # chain = fadd(7) + fmul(4) + 1 control
+        assert loop.estimated_depth() == 12
+
+    def test_explicit_depth_wins(self):
+        loop = LoopNest(
+            name="l", trip_count=10, ops_per_iter={"fadd": 2}, depth=40
+        )
+        assert loop.estimated_depth() == 40
+
+    def test_total_ops(self):
+        loop = LoopNest(name="l", trip_count=5, ops_per_iter={"fmul": 3})
+        assert loop.total_ops() == {"fmul": 15}
+
+    def test_flops_exclude_glue(self):
+        loop = LoopNest(
+            name="l",
+            trip_count=1,
+            ops_per_iter={"fadd": 2, "int": 5, "mem": 3},
+        )
+        assert loop.flops_per_iter() == 2
+
+    def test_access_lookup(self):
+        loop = LoopNest(
+            name="l",
+            trip_count=1,
+            accesses=[ArrayAccess("arr", reads_per_iter=2)],
+        )
+        assert loop.access_of("arr").reads_per_iter == 2
+        assert loop.access_of("missing") is None
+
+    def test_duplicate_access_rejected(self):
+        with pytest.raises(HLSError):
+            LoopNest(
+                name="l",
+                trip_count=1,
+                accesses=[
+                    ArrayAccess("a", reads_per_iter=1),
+                    ArrayAccess("a", writes_per_iter=1),
+                ],
+            )
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(HLSError):
+            LoopNest(name="l", trip_count=0)
+        with pytest.raises(HLSError):
+            LoopNest(name="l", trip_count=1, recurrence_ii=0)
+        with pytest.raises(HLSError):
+            ArrayAccess("a", reads_per_iter=-1)

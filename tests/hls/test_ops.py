@@ -1,0 +1,43 @@
+"""Operator characterization table."""
+
+import pytest
+
+from repro.errors import HLSError
+from repro.hls.ops import OP_TABLE, OpSpec, op_spec, validate_op_counts
+
+
+class TestTable:
+    def test_core_ops_present(self):
+        for name in ("fadd", "fmul", "fdiv", "fsqrt", "int", "mem"):
+            assert name in OP_TABLE
+
+    def test_lookup(self):
+        assert op_spec("fadd").dsp == 2
+        assert op_spec("fmul").dsp == 3
+
+    def test_div_uses_no_dsp_but_many_luts(self):
+        div = op_spec("fdiv")
+        assert div.dsp == 0
+        assert div.lut > op_spec("fadd").lut
+
+    def test_div_longer_than_mul(self):
+        assert op_spec("fdiv").latency > op_spec("fmul").latency
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(HLSError):
+            op_spec("fma99")
+
+
+class TestValidation:
+    def test_counts_validated(self):
+        validate_op_counts({"fadd": 3.0, "fmul": 0.0})
+        with pytest.raises(HLSError):
+            validate_op_counts({"fadd": -1.0})
+        with pytest.raises(HLSError):
+            validate_op_counts({"bogus": 1.0})
+
+    def test_spec_invariants(self):
+        with pytest.raises(HLSError):
+            OpSpec(name="x", latency=0, dsp=0, lut=0, ff=0)
+        with pytest.raises(HLSError):
+            OpSpec(name="x", latency=1, dsp=-1, lut=0, ff=0)

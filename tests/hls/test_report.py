@@ -1,0 +1,31 @@
+"""Synthesis report rendering."""
+
+from repro.hls.directives import DirectiveSet, PipelineDirective
+from repro.hls.loops import LoopNest
+from repro.hls.report import synthesis_report
+from repro.hls.resources import ResourceVector
+from repro.hls.scheduler import schedule_loop
+
+
+class TestReport:
+    def test_contains_loop_and_resources(self):
+        loop = LoopNest(name="grad_loop", trip_count=27, ops_per_iter={"fadd": 4})
+        sched = schedule_loop(loop, DirectiveSet(pipeline=PipelineDirective()))
+        text = synthesis_report(
+            "rkl",
+            {"grad_loop": sched},
+            ResourceVector(lut=1234, dsp=8),
+            clock_mhz=150.0,
+        )
+        assert "rkl" in text
+        assert "grad_loop" in text
+        assert "150" in text
+        assert "1234" in text
+
+    def test_shows_limiting_factor(self):
+        loop = LoopNest(
+            name="l", trip_count=8, ops_per_iter={"fadd": 1}, recurrence_ii=5
+        )
+        sched = schedule_loop(loop, DirectiveSet(pipeline=PipelineDirective()))
+        text = synthesis_report("k", {"l": sched}, ResourceVector(), 100.0)
+        assert "recurrence" in text

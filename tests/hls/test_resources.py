@@ -1,0 +1,104 @@
+"""Resource estimation: vectors, loop binding, array memories."""
+
+import pytest
+
+from repro.errors import HLSError
+from repro.hls.arrays import ArraySpec
+from repro.hls.directives import (
+    ArrayPartitionDirective,
+    DirectiveSet,
+    PipelineDirective,
+)
+from repro.hls.loops import LoopNest
+from repro.hls.resources import (
+    ResourceVector,
+    array_resources,
+    interface_resources,
+    loop_resources,
+)
+from repro.hls.scheduler import schedule_loop
+
+
+class TestResourceVector:
+    def test_addition(self):
+        a = ResourceVector(lut=10, dsp=2)
+        b = ResourceVector(lut=5, bram36=3)
+        c = a + b
+        assert c.lut == 15 and c.dsp == 2 and c.bram36 == 3
+
+    def test_scaling(self):
+        assert ResourceVector(lut=10).scaled(2.5).lut == 25
+
+    def test_fits_within(self):
+        small = ResourceVector(lut=10, ff=10, bram36=1, uram=0, dsp=1)
+        big = ResourceVector(lut=100, ff=100, bram36=10, uram=10, dsp=10)
+        assert small.fits_within(big)
+        assert not big.fits_within(small)
+
+    def test_utilization(self):
+        total = ResourceVector(lut=100, ff=200, bram36=10, uram=10, dsp=10)
+        used = ResourceVector(lut=50, ff=100, bram36=5, uram=1, dsp=2)
+        util = used.utilization_of(total)
+        assert util["LUT"] == pytest.approx(50.0)
+        assert util["FF"] == pytest.approx(50.0)
+        assert util["URAM"] == pytest.approx(10.0)
+
+    def test_utilization_needs_positive_totals(self):
+        with pytest.raises(HLSError):
+            ResourceVector().utilization_of(ResourceVector())
+
+
+class TestLoopBinding:
+    def test_ii_one_instantiates_all_ops(self):
+        loop = LoopNest(
+            name="l", trip_count=16, ops_per_iter={"fadd": 10, "fmul": 6}
+        )
+        sched = schedule_loop(loop, DirectiveSet(pipeline=PipelineDirective()))
+        res = loop_resources(loop, sched)
+        assert res.dsp == 10 * 2 + 6 * 3
+
+    def test_higher_ii_shares_units(self):
+        loop = LoopNest(name="l", trip_count=16, ops_per_iter={"fmul": 6})
+        ds = DirectiveSet(pipeline=PipelineDirective(target_ii=3))
+        res = loop_resources(loop, schedule_loop(loop, ds))
+        assert res.dsp == 2 * 3  # ceil(6/3) units
+
+    def test_sequential_loop_single_unit_per_class(self):
+        loop = LoopNest(name="l", trip_count=16, ops_per_iter={"fmul": 6})
+        res = loop_resources(loop, schedule_loop(loop, DirectiveSet()))
+        assert res.dsp == 3
+
+
+class TestArrayResources:
+    def test_partition_inflates_brams(self):
+        # 2048 words = 64 Kib: 2 BRAM unpartitioned, but 8 banks of
+        # 8 Kib round up to one BRAM each.
+        arrays = {"a": ArraySpec(name="a", words=2048)}
+        plain = array_resources(arrays, {})
+        ds = DirectiveSet()
+        ds.add_partition(ArrayPartitionDirective(array="a", factor=8))
+        split = array_resources(arrays, {"loop": ds})
+        assert plain.bram36 == 2
+        assert split.bram36 == 8
+
+    def test_max_factor_across_loops_wins(self):
+        arrays = {"a": ArraySpec(name="a", words=8192)}
+        ds1 = DirectiveSet()
+        ds1.add_partition(ArrayPartitionDirective(array="a", factor=2))
+        ds2 = DirectiveSet()
+        ds2.add_partition(ArrayPartitionDirective(array="a", factor=8))
+        res = array_resources(arrays, {"l1": ds1, "l2": ds2})
+        expected = array_resources(arrays, {"l2": ds2})
+        assert res.bram36 == expected.bram36
+
+
+class TestInterfaces:
+    def test_cost_scales_with_count(self):
+        one = interface_resources(1)
+        four = interface_resources(4)
+        assert four.lut > one.lut
+        assert four.lut - one.lut == pytest.approx(3 * 4200)
+
+    def test_negative_rejected(self):
+        with pytest.raises(HLSError):
+            interface_resources(-1)

@@ -1,0 +1,73 @@
+"""Boundary tagging and periodic image maps."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeshError
+from repro.mesh.boundary import (
+    BoundaryTag,
+    apply_dirichlet,
+    boundary_node_ids,
+    periodic_image_map,
+    tag_box_boundaries,
+)
+from repro.mesh.hexmesh import box_mesh, periodic_box_mesh
+
+
+class TestTagging:
+    def test_counts_on_box(self):
+        mesh = box_mesh(2, 2)  # 5^3 nodes
+        tags = tag_box_boundaries(mesh)
+        boundary = np.count_nonzero(tags)
+        assert boundary == 5**3 - 3**3  # shell minus interior
+
+    def test_corner_node_has_three_flags(self):
+        mesh = box_mesh(2, 2)
+        tags = tag_box_boundaries(mesh)
+        origin = np.nonzero(
+            (np.abs(mesh.coords) < 1e-12).all(axis=1)
+        )[0][0]
+        tag = BoundaryTag(int(tags[origin]))
+        assert tag & BoundaryTag.X_MIN
+        assert tag & BoundaryTag.Y_MIN
+        assert tag & BoundaryTag.Z_MIN
+
+    def test_face_selection(self):
+        mesh = box_mesh(2, 2)
+        ids = boundary_node_ids(mesh, BoundaryTag.X_MIN)
+        assert len(ids) == 25
+        assert np.allclose(mesh.coords[ids, 0], 0.0)
+
+    def test_periodic_mesh_rejected(self):
+        mesh = periodic_box_mesh(2, 2)
+        with pytest.raises(MeshError):
+            tag_box_boundaries(mesh)
+
+
+class TestPeriodicImages:
+    def test_image_count(self):
+        mesh = box_mesh(2, 2)
+        pairs = periodic_image_map(mesh)
+        # per axis: one 5x5 face of images
+        assert len(pairs) == 3 * 25
+
+    def test_images_differ_by_period(self):
+        mesh = box_mesh(2, 2)
+        for pair in periodic_image_map(mesh):
+            delta = mesh.coords[pair.image] - mesh.coords[pair.primary]
+            assert abs(delta[pair.axis]) == pytest.approx(2 * np.pi)
+
+    def test_fused_mesh_has_fewer_nodes_by_image_count(self):
+        box = box_mesh(2, 2)
+        periodic = periodic_box_mesh(2, 2)
+        images = periodic_image_map(box)
+        unique_images = len({p.image for p in images})
+        assert periodic.num_nodes == box.num_nodes - unique_images
+
+
+class TestDirichlet:
+    def test_apply_sets_values(self):
+        field = np.zeros(10)
+        out = apply_dirichlet(field, np.array([1, 3]), 7.0)
+        assert out[1] == out[3] == 7.0
+        assert field[1] == 0.0  # original untouched

@@ -1,0 +1,134 @@
+"""Structured box mesh generators and the HexMesh container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeshError
+from repro.mesh.hexmesh import (
+    HexMesh,
+    box_mesh,
+    mesh_for_node_count,
+    periodic_box_mesh,
+)
+
+
+class TestPeriodicMesh:
+    def test_node_and_element_counts(self):
+        for k, p in [(2, 2), (3, 2), (4, 2), (2, 3)]:
+            mesh = periodic_box_mesh(k, p)
+            assert mesh.num_elements == k**3
+            assert mesh.num_nodes == (k * p) ** 3
+
+    def test_validates(self, small_periodic_mesh):
+        small_periodic_mesh.validate()
+
+    def test_coordinates_within_domain(self, small_periodic_mesh):
+        coords = small_periodic_mesh.coords
+        assert coords.min() >= 0.0
+        assert coords.max() < 2 * np.pi  # periodic: right endpoint dropped
+
+    def test_connectivity_wraps(self):
+        mesh = periodic_box_mesh(2, 2)
+        # the last element along x must reference node column 0
+        conn = mesh.connectivity
+        referenced = np.unique(conn)
+        assert referenced.size == mesh.num_nodes  # all nodes used
+
+    def test_element_node_coords_contiguous(self, small_periodic_mesh):
+        """Unwrapped element nodes must lie inside the element's box."""
+        coords = small_periodic_mesh.element_node_coords()
+        lows = small_periodic_mesh.corner_coords.min(axis=1)
+        highs = small_periodic_mesh.corner_coords.max(axis=1)
+        assert (coords >= lows[:, None, :] - 1e-12).all()
+        assert (coords <= highs[:, None, :] + 1e-12).all()
+
+    def test_node_sharing_multiplicity(self):
+        from repro.mesh.connectivity import shared_node_counts
+
+        mesh = periodic_box_mesh(3, 2)
+        hist = shared_node_counts(mesh)
+        # Order-2 periodic classes per element: 1 center (mult 1),
+        # 6 face centers (mult 2, /2), 12 edge centers (mult 4, /4),
+        # 8 corners (mult 8, /8).
+        e = mesh.num_elements
+        assert hist[1] == e
+        assert hist[2] == 3 * e
+        assert hist[4] == 3 * e
+        assert hist[8] == e
+        assert hist.sum() - hist[0] == mesh.num_nodes
+
+
+class TestBoxMesh:
+    def test_counts(self):
+        mesh = box_mesh(3, 2)
+        assert mesh.num_elements == 27
+        assert mesh.num_nodes == 7**3
+
+    def test_includes_endpoints(self):
+        mesh = box_mesh(2, 2)
+        assert mesh.coords[:, 0].max() == pytest.approx(2 * np.pi)
+        assert mesh.coords[:, 0].min() == pytest.approx(0.0)
+
+    def test_validates(self, small_box_mesh):
+        small_box_mesh.validate()
+
+
+class TestCustomDomain:
+    def test_unit_cube_domain(self):
+        dom = ((0.0, 1.0),) * 3
+        mesh = periodic_box_mesh(2, 2, domain=dom)
+        assert mesh.coords.max() < 1.0
+        from repro.mesh.metrics import element_volumes
+
+        assert element_volumes(mesh).sum() == pytest.approx(1.0, rel=1e-12)
+
+    def test_anisotropic_domain(self):
+        dom = ((0.0, 1.0), (0.0, 2.0), (0.0, 4.0))
+        mesh = box_mesh(2, 2, domain=dom)
+        from repro.mesh.metrics import element_volumes
+
+        assert element_volumes(mesh).sum() == pytest.approx(8.0, rel=1e-12)
+
+
+class TestMeshForNodeCount:
+    def test_reaches_target(self):
+        mesh = mesh_for_node_count(5_000)
+        assert mesh.num_nodes >= 5_000
+        smaller = periodic_box_mesh(
+            round((mesh.num_nodes ** (1 / 3)) / 2) - 1, 2
+        )
+        assert smaller.num_nodes < mesh.num_nodes
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(MeshError):
+            mesh_for_node_count(0)
+
+
+class TestValidation:
+    def test_orphan_node_detected(self, small_periodic_mesh):
+        bad = HexMesh(
+            polynomial_order=2,
+            coords=np.vstack([small_periodic_mesh.coords, [[9.0, 9.0, 9.0]]]),
+            connectivity=small_periodic_mesh.connectivity,
+            corner_coords=small_periodic_mesh.corner_coords,
+            periodic=True,
+        )
+        with pytest.raises(MeshError):
+            bad.validate()
+
+    def test_bad_connectivity_rejected(self, small_periodic_mesh):
+        conn = small_periodic_mesh.connectivity.copy()
+        conn[0, 0] = 10**6
+        with pytest.raises(MeshError):
+            HexMesh(
+                polynomial_order=2,
+                coords=small_periodic_mesh.coords,
+                connectivity=conn,
+                corner_coords=small_periodic_mesh.corner_coords,
+                periodic=True,
+            )
+
+    def test_checksum_stable(self, small_periodic_mesh):
+        assert small_periodic_mesh.checksum() == pytest.approx(
+            small_periodic_mesh.checksum()
+        )

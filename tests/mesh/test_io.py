@@ -1,0 +1,46 @@
+"""Mesh persistence round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeshError
+from repro.mesh.hexmesh import box_mesh, periodic_box_mesh
+from repro.mesh.io import load_mesh, save_mesh
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("periodic", [True, False])
+    def test_bit_exact(self, tmp_path, periodic):
+        mesh = (
+            periodic_box_mesh(3, 2) if periodic else box_mesh(2, 2)
+        )
+        path = tmp_path / "mesh.npz"
+        save_mesh(mesh, path)
+        loaded = load_mesh(path)
+        assert loaded.periodic == mesh.periodic
+        assert loaded.polynomial_order == mesh.polynomial_order
+        assert np.array_equal(loaded.coords, mesh.coords)
+        assert np.array_equal(loaded.connectivity, mesh.connectivity)
+        assert np.array_equal(loaded.corner_coords, mesh.corner_coords)
+        assert loaded.domain == mesh.domain
+
+    def test_checksum_preserved(self, tmp_path):
+        mesh = periodic_box_mesh(2, 3)
+        path = tmp_path / "m.npz"
+        save_mesh(mesh, path)
+        assert load_mesh(path).checksum() == pytest.approx(mesh.checksum())
+
+    def test_suffix_added(self, tmp_path):
+        mesh = periodic_box_mesh(2, 2)
+        save_mesh(mesh, tmp_path / "bare")
+        loaded = load_mesh(tmp_path / "bare")
+        assert loaded.num_nodes == mesh.num_nodes
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(MeshError):
+            load_mesh(tmp_path / "does-not-exist.npz")
+
+    def test_loaded_mesh_validates(self, tmp_path):
+        mesh = periodic_box_mesh(2, 2)
+        save_mesh(mesh, tmp_path / "m.npz")
+        load_mesh(tmp_path / "m.npz").validate()

@@ -1,0 +1,66 @@
+"""Element volumes, spacings and quality reporting."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.hexmesh import box_mesh, periodic_box_mesh
+from repro.mesh.metrics import (
+    element_min_spacing,
+    element_volumes,
+    mesh_quality_report,
+)
+
+
+class TestVolumes:
+    def test_uniform_elements_equal_volume(self):
+        mesh = periodic_box_mesh(3, 2)
+        vols = element_volumes(mesh)
+        assert np.allclose(vols, vols[0])
+        assert vols.sum() == pytest.approx((2 * np.pi) ** 3, rel=1e-12)
+
+    def test_box_mesh_volume(self):
+        mesh = box_mesh(2, 2, domain=((0, 1), (0, 1), (0, 1)))
+        assert element_volumes(mesh).sum() == pytest.approx(1.0, rel=1e-12)
+
+
+class TestSpacing:
+    def test_order2_spacing_is_half_element(self):
+        # Order-2 GLL points {-1, 0, 1} are evenly spaced: min = h/2.
+        mesh = periodic_box_mesh(3, 2)
+        h_elem = 2 * np.pi / 3
+        spacing = element_min_spacing(mesh)
+        assert np.allclose(spacing, h_elem / 2)
+
+    def test_order4_clusters_below_uniform(self):
+        # From order 3 up, GLL nodes cluster at the ends: min < h/p.
+        mesh = periodic_box_mesh(2, 4)
+        h_elem = 2 * np.pi / 2
+        spacing = element_min_spacing(mesh)
+        assert (spacing < h_elem / 4).all()
+        assert (spacing > 0).all()
+
+    def test_spacing_scales_with_resolution(self):
+        coarse = element_min_spacing(periodic_box_mesh(2, 2)).min()
+        fine = element_min_spacing(periodic_box_mesh(4, 2)).min()
+        assert fine == pytest.approx(coarse / 2, rel=1e-10)
+
+    def test_higher_order_clusters_tighter(self):
+        p2 = element_min_spacing(periodic_box_mesh(2, 2)).min()
+        p4 = element_min_spacing(periodic_box_mesh(2, 4)).min()
+        assert p4 < p2
+
+
+class TestQualityReport:
+    def test_uniform_mesh_report(self):
+        mesh = periodic_box_mesh(3, 2)
+        report = mesh_quality_report(mesh)
+        assert report.num_elements == 27
+        assert report.is_uniform()
+        assert report.aspect_ratio_max == pytest.approx(1.0)
+        assert report.total_volume == pytest.approx((2 * np.pi) ** 3, rel=1e-12)
+
+    def test_anisotropic_mesh_aspect_ratio(self):
+        mesh = box_mesh(2, 2, domain=((0, 1), (0, 1), (0, 4)))
+        report = mesh_quality_report(mesh)
+        assert report.aspect_ratio_max == pytest.approx(4.0)
+        assert report.is_uniform()

@@ -1,0 +1,83 @@
+"""Local node numbering conventions inside the hexahedral element."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeshError
+from repro.mesh.node_ordering import (
+    corner_local_indices,
+    face_local_indices,
+    lexicographic_grid,
+    local_node_index,
+    local_node_triplet,
+    nodes_per_direction,
+)
+
+
+class TestIndexing:
+    def test_roundtrip_all_nodes(self):
+        n1 = 4
+        for local in range(n1**3):
+            ix, iy, iz = local_node_triplet(local, n1)
+            assert local_node_index(ix, iy, iz, n1) == local
+
+    def test_x_fastest(self):
+        assert local_node_index(1, 0, 0, 3) == 1
+        assert local_node_index(0, 1, 0, 3) == 3
+        assert local_node_index(0, 0, 1, 3) == 9
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(MeshError):
+            local_node_index(3, 0, 0, 3)
+        with pytest.raises(MeshError):
+            local_node_triplet(27, 3)
+
+    def test_nodes_per_direction(self):
+        assert nodes_per_direction(2) == 3
+        with pytest.raises(MeshError):
+            nodes_per_direction(0)
+
+
+class TestCorners:
+    def test_vtk_corner_order(self):
+        corners = corner_local_indices(3)
+        triplets = [local_node_triplet(int(c), 3) for c in corners]
+        assert triplets == [
+            (0, 0, 0),
+            (2, 0, 0),
+            (2, 2, 0),
+            (0, 2, 0),
+            (0, 0, 2),
+            (2, 0, 2),
+            (2, 2, 2),
+            (0, 2, 2),
+        ]
+
+    def test_corners_distinct(self):
+        assert len(set(corner_local_indices(4).tolist())) == 8
+
+
+class TestFaces:
+    @pytest.mark.parametrize(
+        "face", ["x-", "x+", "y-", "y+", "z-", "z+"]
+    )
+    def test_face_has_n1_squared_nodes(self, face):
+        nodes = face_local_indices(face, 3)
+        assert nodes.shape == (3, 3)
+        assert len(set(nodes.ravel().tolist())) == 9
+
+    def test_opposite_faces_disjoint(self):
+        lo = set(face_local_indices("x-", 3).ravel().tolist())
+        hi = set(face_local_indices("x+", 3).ravel().tolist())
+        assert not (lo & hi)
+
+    def test_unknown_face_rejected(self):
+        with pytest.raises(MeshError):
+            face_local_indices("w+", 3)
+
+
+class TestGrid:
+    def test_lexicographic_grid_matches_indexing(self):
+        grid = lexicographic_grid(3)
+        for local, (ix, iy, iz) in enumerate(grid):
+            assert local_node_index(int(ix), int(iy), int(iz), 3) == local

@@ -1,0 +1,68 @@
+"""Element batching and working-set accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeshError
+from repro.mesh.hexmesh import periodic_box_mesh
+from repro.mesh.partition import (
+    batch_node_working_set,
+    partition_elements_balanced,
+    partition_elements_contiguous,
+    reuse_factor,
+)
+
+
+class TestContiguous:
+    def test_covers_all_elements_once(self):
+        batches = partition_elements_contiguous(100, 32)
+        combined = np.concatenate(batches)
+        assert np.array_equal(combined, np.arange(100))
+        assert [len(b) for b in batches] == [32, 32, 32, 4]
+
+    def test_single_batch(self):
+        batches = partition_elements_contiguous(5, 10)
+        assert len(batches) == 1 and len(batches[0]) == 5
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(MeshError):
+            partition_elements_contiguous(10, 0)
+
+
+class TestBalanced:
+    def test_sizes_differ_by_at_most_one(self):
+        parts = partition_elements_balanced(100, 7)
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == 100
+
+    def test_exact_split(self):
+        parts = partition_elements_balanced(9, 3)
+        assert all(len(p) == 3 for p in parts)
+
+    def test_more_parts_than_elements(self):
+        parts = partition_elements_balanced(2, 5)
+        assert sum(len(p) for p in parts) == 2
+
+
+class TestWorkingSet:
+    def test_full_mesh_working_set_is_all_nodes(self):
+        mesh = periodic_box_mesh(3, 2)
+        batch = np.arange(mesh.num_elements)
+        assert batch_node_working_set(mesh, batch) == mesh.num_nodes
+
+    def test_single_element_working_set(self):
+        mesh = periodic_box_mesh(3, 2)
+        assert batch_node_working_set(mesh, np.array([0])) == 27
+
+    def test_reuse_grows_with_batch(self):
+        mesh = periodic_box_mesh(4, 2)
+        small = reuse_factor(mesh, np.arange(1))
+        large = reuse_factor(mesh, np.arange(mesh.num_elements))
+        assert small == pytest.approx(1.0)
+        assert large == pytest.approx(27 / 8)
+
+    def test_out_of_range_batch_rejected(self):
+        mesh = periodic_box_mesh(2, 2)
+        with pytest.raises(MeshError):
+            batch_node_working_set(mesh, np.array([999]))

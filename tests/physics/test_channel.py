@@ -1,0 +1,79 @@
+"""Decaying shear-flow reference solution (unit level)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PhysicsError
+from repro.physics.channel import (
+    decaying_shear_exact,
+    decaying_shear_initial,
+    shear_decay_rate,
+)
+from repro.physics.taylor_green import TGVCase
+
+
+@pytest.fixture()
+def coords():
+    z = np.linspace(0.0, 2 * np.pi, 9)
+    out = np.zeros((9, 3))
+    out[:, 2] = z
+    return out
+
+
+class TestExactSolution:
+    def test_zero_at_walls(self, coords):
+        vel = decaying_shear_exact(coords, 0.5, TGVCase())
+        assert vel[0, 0] == pytest.approx(0.0, abs=1e-14)
+        assert vel[0, -1] == pytest.approx(0.0, abs=1e-14)
+
+    def test_peak_at_mid_channel(self, coords):
+        case = TGVCase()
+        vel = decaying_shear_exact(coords, 0.0, case)
+        assert vel[0].max() == pytest.approx(case.velocity)
+        assert np.argmax(vel[0]) == 4  # z = pi
+
+    def test_decay_factor(self, coords):
+        case = TGVCase(reynolds=100.0)
+        v0 = decaying_shear_exact(coords, 0.0, case)
+        v1 = decaying_shear_exact(coords, 2.0, case)
+        rate = shear_decay_rate(case)
+        assert np.allclose(v1, v0 * np.exp(-2.0 * rate), atol=1e-14)
+
+    def test_transverse_components_zero(self, coords):
+        vel = decaying_shear_exact(coords, 1.0, TGVCase())
+        assert np.allclose(vel[1:], 0.0)
+
+    def test_custom_domain_height(self, coords):
+        case = TGVCase()
+        dom = ((0.0, 1.0), (0.0, 1.0), (0.0, 4.0))
+        rate = shear_decay_rate(case, height=4.0)
+        assert rate == pytest.approx(
+            case.viscosity / case.rho0 * (np.pi / 4.0) ** 2
+        )
+        coords4 = coords.copy()
+        coords4[:, 2] = np.linspace(0, 4.0, 9)
+        vel = decaying_shear_exact(coords4, 0.0, case, domain=dom)
+        assert vel[0, 0] == pytest.approx(0.0, abs=1e-14)
+        assert vel[0, -1] == pytest.approx(0.0, abs=1e-13)
+
+
+class TestInitialState:
+    def test_uniform_thermodynamics(self, coords):
+        case = TGVCase()
+        state = decaying_shear_initial(coords, case)
+        assert np.allclose(state.rho, case.rho0)
+        assert np.allclose(
+            state.temperature(case.gas()), case.temperature0, rtol=1e-12
+        )
+
+    def test_velocity_matches_exact(self, coords):
+        case = TGVCase()
+        state = decaying_shear_initial(coords, case)
+        exact = decaying_shear_exact(coords, 0.0, case)
+        assert np.allclose(state.velocity(), exact, atol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(PhysicsError):
+            decaying_shear_exact(np.zeros((3, 2)), 0.0, TGVCase())
+        with pytest.raises(PhysicsError):
+            shear_decay_rate(TGVCase(), height=0.0)

@@ -1,0 +1,129 @@
+"""Convective and viscous flux vectors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PhysicsError
+from repro.physics.fluxes import (
+    combined_rhs_fluxes,
+    convective_fluxes,
+    viscous_fluxes,
+)
+from repro.physics.gas import GasProperties
+
+
+@pytest.fixture()
+def gas():
+    return GasProperties()
+
+
+class TestConvective:
+    def test_stationary_gas_carries_only_pressure(self):
+        n = 8
+        fluxes = convective_fluxes(
+            rho=np.ones(n),
+            velocity=np.zeros((3, n)),
+            pressure=np.full(n, 5.0),
+            total_energy=np.full(n, 12.0),
+        )
+        assert np.allclose(fluxes.mass, 0.0)
+        assert np.allclose(fluxes.energy, 0.0)
+        # momentum flux = p * I
+        assert np.allclose(fluxes.momentum[..., 0, 0], 5.0)
+        assert np.allclose(fluxes.momentum[..., 0, 1], 0.0)
+
+    def test_uniform_flow_values(self):
+        rho = np.array([2.0])
+        vel = np.array([[3.0], [0.0], [0.0]])
+        p = np.array([10.0])
+        e_tot = np.array([50.0])
+        fluxes = convective_fluxes(rho, vel, p, e_tot)
+        assert fluxes.mass[0, 0] == pytest.approx(6.0)  # rho u
+        assert fluxes.momentum[0, 0, 0] == pytest.approx(2 * 9 + 10)
+        assert fluxes.energy[0, 0] == pytest.approx((50 + 10) * 3)
+
+    def test_momentum_flux_symmetric(self, rng):
+        n = 10
+        fluxes = convective_fluxes(
+            rho=np.abs(rng.normal(size=n)) + 1.0,
+            velocity=rng.normal(size=(3, n)),
+            pressure=np.abs(rng.normal(size=n)) + 1.0,
+            total_energy=np.abs(rng.normal(size=n)) + 5.0,
+        )
+        assert np.allclose(
+            fluxes.momentum, np.swapaxes(fluxes.momentum, -1, -2)
+        )
+
+    def test_velocity_shape_checked(self):
+        with pytest.raises(PhysicsError):
+            convective_fluxes(
+                np.ones(3), np.ones((2, 3)), np.ones(3), np.ones(3)
+            )
+
+    def test_stacked_layout(self):
+        n = 4
+        fluxes = convective_fluxes(
+            np.ones(n), np.zeros((3, n)), np.ones(n), np.ones(n)
+        )
+        stacked = fluxes.stacked()
+        assert stacked.shape == (5, n, 3)
+
+
+class TestViscous:
+    def test_mass_flux_is_zero(self, gas, rng):
+        n = 6
+        fluxes = viscous_fluxes(
+            velocity=rng.normal(size=(3, n)),
+            grad_u=rng.normal(size=(n, 3, 3)),
+            grad_t=rng.normal(size=(n, 3)),
+            gas=gas,
+        )
+        assert np.allclose(fluxes.mass, 0.0)
+
+    def test_heat_conduction_term(self, gas):
+        n = 4
+        grad_t = np.zeros((n, 3))
+        grad_t[:, 0] = 2.0
+        fluxes = viscous_fluxes(
+            velocity=np.zeros((3, n)),
+            grad_u=np.zeros((n, 3, 3)),
+            grad_t=grad_t,
+            gas=gas,
+        )
+        assert np.allclose(
+            fluxes.energy[:, 0], gas.thermal_conductivity * 2.0
+        )
+        assert np.allclose(fluxes.momentum, 0.0)
+
+    def test_energy_flux_includes_stress_work(self, gas):
+        n = 2
+        grad_u = np.zeros((n, 3, 3))
+        grad_u[:, 0, 1] = 1.0  # shear du/dy
+        vel = np.zeros((3, n))
+        vel[1] = 4.0  # v = 4
+        fluxes = viscous_fluxes(vel, grad_u, np.zeros((n, 3)), gas)
+        # tau_xy = mu; energy flux_x = tau_xy * v
+        assert np.allclose(
+            fluxes.energy[:, 0], gas.viscosity * 4.0
+        )
+
+
+class TestCombination:
+    def test_combined_is_difference(self, gas, rng):
+        n = 5
+        conv = convective_fluxes(
+            np.abs(rng.normal(size=n)) + 1,
+            rng.normal(size=(3, n)),
+            np.abs(rng.normal(size=n)) + 1,
+            np.abs(rng.normal(size=n)) + 5,
+        )
+        visc = viscous_fluxes(
+            rng.normal(size=(3, n)),
+            rng.normal(size=(n, 3, 3)),
+            rng.normal(size=(n, 3)),
+            gas,
+        )
+        net = combined_rhs_fluxes(conv, visc)
+        assert np.allclose(net.mass, conv.mass - visc.mass)
+        assert np.allclose(net.momentum, conv.momentum - visc.momentum)
+        assert np.allclose(net.energy, conv.energy - visc.energy)

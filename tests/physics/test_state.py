@@ -1,0 +1,110 @@
+"""FlowState container and derived quantities (the RKU update set)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PhysicsError
+from repro.physics.gas import GasProperties
+from repro.physics.state import FlowState
+
+
+@pytest.fixture()
+def gas():
+    return GasProperties()
+
+
+@pytest.fixture()
+def uniform_state(gas):
+    n = 16
+    rho = np.full(n, 1.2)
+    vel = np.zeros((3, n))
+    vel[0] = 10.0
+    temp = np.full(n, 300.0)
+    return FlowState.from_primitive(rho, vel, temp, gas)
+
+
+class TestConstruction:
+    def test_primitive_roundtrip(self, gas, uniform_state):
+        assert np.allclose(uniform_state.velocity()[0], 10.0)
+        assert np.allclose(uniform_state.temperature(gas), 300.0)
+        assert np.allclose(
+            uniform_state.pressure(gas), 1.2 * 287.0 * 300.0
+        )
+
+    def test_rejects_negative_density(self, gas):
+        with pytest.raises(PhysicsError):
+            FlowState.from_primitive(
+                np.array([-1.0]), np.zeros((3, 1)), np.array([300.0]), gas
+            )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(PhysicsError):
+            FlowState(
+                rho=np.ones(4),
+                momentum=np.ones((3, 5)),
+                total_energy=np.ones(4),
+            )
+
+    def test_zeros_constructor(self):
+        state = FlowState.zeros(8)
+        assert state.num_nodes == 8
+        assert state.total_energy.sum() == 0.0
+
+
+class TestDerived:
+    def test_energy_split(self, gas, uniform_state):
+        kinetic = uniform_state.kinetic_energy_density()
+        internal = uniform_state.internal_energy_density()
+        assert np.allclose(kinetic, 0.5 * 1.2 * 100.0)
+        assert np.allclose(
+            internal + kinetic, uniform_state.total_energy
+        )
+
+    def test_pressure_gamma_relation(self, gas, uniform_state):
+        p = uniform_state.pressure(gas)
+        e = uniform_state.internal_energy_density()
+        assert np.allclose(p, (gas.gamma - 1.0) * e)
+
+    def test_max_wave_speed(self, gas, uniform_state):
+        expected = 10.0 + gas.sound_speed(np.array([300.0]))[0]
+        assert uniform_state.max_wave_speed(gas) == pytest.approx(expected)
+
+    def test_validate_catches_negative_pressure(self, gas):
+        state = FlowState(
+            rho=np.ones(2),
+            momentum=np.zeros((3, 2)),
+            total_energy=np.array([-1.0, 1.0]),
+        )
+        with pytest.raises(PhysicsError):
+            state.validate()
+
+    def test_validate_catches_nan(self, gas, uniform_state):
+        bad = uniform_state.copy()
+        bad.rho[0] = np.nan
+        with pytest.raises(PhysicsError):
+            bad.validate()
+
+
+class TestStacking:
+    def test_roundtrip(self, uniform_state):
+        stacked = uniform_state.as_stacked()
+        assert stacked.shape == (5, uniform_state.num_nodes)
+        back = FlowState.from_stacked(stacked)
+        assert np.allclose(back.rho, uniform_state.rho)
+        assert np.allclose(back.momentum, uniform_state.momentum)
+        assert np.allclose(back.total_energy, uniform_state.total_energy)
+
+    def test_from_stacked_copies(self, uniform_state):
+        stacked = uniform_state.as_stacked()
+        back = FlowState.from_stacked(stacked)
+        stacked[0, 0] = 999.0
+        assert back.rho[0] != 999.0
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(PhysicsError):
+            FlowState.from_stacked(np.zeros((4, 10)))
+
+    def test_copy_is_deep(self, uniform_state):
+        cp = uniform_state.copy()
+        cp.rho[0] = 99.0
+        assert uniform_state.rho[0] != 99.0

@@ -1,0 +1,40 @@
+"""Sutherland viscosity law (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PhysicsError
+from repro.physics.viscous import (
+    SUTHERLAND_MU_REF,
+    SUTHERLAND_T_REF,
+    sutherland_viscosity,
+)
+
+
+class TestSutherland:
+    def test_reference_point(self):
+        mu = sutherland_viscosity(np.array([SUTHERLAND_T_REF]))
+        assert mu[0] == pytest.approx(SUTHERLAND_MU_REF, rel=1e-12)
+
+    def test_air_at_300k(self):
+        """Tabulated air viscosity at 300 K is ~1.846e-5 Pa s."""
+        mu = sutherland_viscosity(np.array([300.0]))
+        assert mu[0] == pytest.approx(1.846e-5, rel=5e-3)
+
+    def test_monotone_increasing_in_temperature(self):
+        temps = np.linspace(200.0, 1500.0, 20)
+        mu = sutherland_viscosity(temps)
+        assert (np.diff(mu) > 0).all()
+
+    def test_scales_with_reference(self):
+        base = sutherland_viscosity(np.array([400.0]))
+        doubled = sutherland_viscosity(np.array([400.0]), mu_ref=2 * SUTHERLAND_MU_REF)
+        assert doubled[0] == pytest.approx(2 * base[0])
+
+    def test_rejects_nonpositive_temperature(self):
+        with pytest.raises(PhysicsError):
+            sutherland_viscosity(np.array([0.0]))
+
+    def test_rejects_bad_constants(self):
+        with pytest.raises(PhysicsError):
+            sutherland_viscosity(np.array([300.0]), mu_ref=-1.0)

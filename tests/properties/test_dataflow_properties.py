@@ -1,0 +1,68 @@
+"""Property-based tests on the dataflow engine (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow.analysis import (
+    sequential_cycles,
+    steady_state_cycles,
+    theoretical_initiation_interval,
+)
+from repro.dataflow.graph import DataflowGraph
+from repro.dataflow.simulator import DataflowSimulator
+from repro.dataflow.task import Task
+
+latencies_strategy = st.lists(
+    st.integers(min_value=1, max_value=40), min_size=1, max_size=5
+)
+
+
+def chain(latencies):
+    g = DataflowGraph("chain")
+    g.chain([Task(f"t{i}", lat) for i, lat in enumerate(latencies)])
+    return g
+
+
+class TestPipelineInvariants:
+    @given(latencies=latencies_strategy, iterations=st.integers(1, 25))
+    @settings(max_examples=60, deadline=None)
+    def test_simulation_equals_analytic_for_linear_chains(
+        self, latencies, iterations
+    ):
+        g = chain(latencies)
+        trace = DataflowSimulator(g).run(iterations)
+        assert trace.total_cycles == steady_state_cycles(g, iterations)
+
+    @given(latencies=latencies_strategy, iterations=st.integers(1, 25))
+    @settings(max_examples=60, deadline=None)
+    def test_pipelined_never_slower_than_sequential(
+        self, latencies, iterations
+    ):
+        g = chain(latencies)
+        trace = DataflowSimulator(g).run(iterations)
+        assert trace.total_cycles <= sequential_cycles(g, iterations)
+
+    @given(latencies=latencies_strategy, iterations=st.integers(2, 25))
+    @settings(max_examples=60, deadline=None)
+    def test_total_bounded_below_by_bottleneck(self, latencies, iterations):
+        g = chain(latencies)
+        trace = DataflowSimulator(g).run(iterations)
+        ii = theoretical_initiation_interval(g)
+        assert trace.total_cycles >= ii * iterations
+
+    @given(latencies=latencies_strategy, iterations=st.integers(1, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_all_tasks_complete_all_iterations(self, latencies, iterations):
+        g = chain(latencies)
+        trace = DataflowSimulator(g).run(iterations)
+        for stats in trace.task_stats.values():
+            assert stats.iterations_completed == iterations
+
+    @given(latencies=latencies_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_adding_iterations_adds_exactly_ii(self, latencies):
+        g = chain(latencies)
+        t_small = DataflowSimulator(g).run(10).total_cycles
+        t_big = DataflowSimulator(g).run(11).total_cycles
+        assert t_big - t_small == theoretical_initiation_interval(g)

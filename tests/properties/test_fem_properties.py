@@ -1,0 +1,82 @@
+"""Property-based tests on the FEM core (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fem.gll import gll_points, gll_weights
+from repro.fem.lagrange import differentiation_matrix, lagrange_basis
+from repro.fem.quadrature import integrate_1d
+
+
+@st.composite
+def polynomial(draw, max_degree):
+    degree = draw(st.integers(min_value=0, max_value=max_degree))
+    coeffs = draw(
+        st.lists(
+            st.floats(min_value=-10, max_value=10, allow_nan=False),
+            min_size=degree + 1,
+            max_size=degree + 1,
+        )
+    )
+    return np.array(coeffs)
+
+
+class TestQuadratureProperties:
+    @given(n=st.integers(min_value=2, max_value=12), coeffs=polynomial(5))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_for_low_degree_polynomials(self, n, coeffs):
+        degree = len(coeffs) - 1
+        if degree > 2 * n - 3:
+            return
+        exact = sum(
+            c * (2.0 / (k + 1)) if k % 2 == 0 else 0.0
+            for k, c in enumerate(coeffs)
+        )
+        approx = integrate_1d(lambda x: np.polyval(coeffs[::-1], x), n)
+        assert approx == pytest.approx(exact, abs=1e-9 * max(1, abs(exact)))
+
+    @given(n=st.integers(min_value=2, max_value=16))
+    @settings(max_examples=15, deadline=None)
+    def test_weights_positive_and_sum_two(self, n):
+        w = gll_weights(n)
+        assert (w > 0).all()
+        assert w.sum() == pytest.approx(2.0)
+
+    @given(n=st.integers(min_value=2, max_value=16))
+    @settings(max_examples=15, deadline=None)
+    def test_points_in_closed_interval(self, n):
+        p = gll_points(n)
+        assert p.min() == -1.0 and p.max() == 1.0
+
+
+class TestBasisProperties:
+    @given(
+        n=st.integers(min_value=2, max_value=10),
+        x=st.floats(min_value=-1, max_value=1, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_partition_of_unity_everywhere(self, n, x):
+        values = lagrange_basis(gll_points(n), np.array([x]))
+        assert values.sum() == pytest.approx(1.0, abs=1e-10)
+
+    @given(n=st.integers(min_value=2, max_value=10), coeffs=polynomial(4))
+    @settings(max_examples=40, deadline=None)
+    def test_differentiation_exact_for_basis_polynomials(self, n, coeffs):
+        degree = len(coeffs) - 1
+        if degree > n - 1:
+            return
+        nodes = gll_points(n)
+        d = differentiation_matrix(nodes)
+        values = np.polyval(coeffs[::-1], nodes)
+        deriv_coeffs = np.polyder(np.poly1d(coeffs[::-1]))
+        expected = deriv_coeffs(nodes)
+        scale = max(1.0, np.abs(values).max())
+        assert np.allclose(d @ values, expected, atol=1e-8 * scale)
+
+    @given(n=st.integers(min_value=2, max_value=12))
+    @settings(max_examples=15, deadline=None)
+    def test_derivative_of_constant_zero(self, n):
+        d = differentiation_matrix(gll_points(n))
+        assert np.abs(d @ np.ones(n)).max() < 1e-11

@@ -1,0 +1,95 @@
+"""Property-based tests on HLS scheduling invariants (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hls.arrays import ArraySpec
+from repro.hls.directives import (
+    ArrayPartitionDirective,
+    DirectiveSet,
+    PipelineDirective,
+    UnrollDirective,
+)
+from repro.hls.loops import ArrayAccess, LoopNest
+from repro.hls.resources import loop_resources
+from repro.hls.scheduler import schedule_loop
+
+
+@st.composite
+def loop_and_arrays(draw):
+    trips = draw(st.integers(min_value=2, max_value=128))
+    adds = draw(st.integers(min_value=0, max_value=24))
+    muls = draw(st.integers(min_value=0, max_value=24))
+    reads = draw(st.integers(min_value=0, max_value=16))
+    recurrence = draw(st.integers(min_value=1, max_value=8))
+    words = draw(st.integers(min_value=32, max_value=1024))
+    loop = LoopNest(
+        name="l",
+        trip_count=trips,
+        ops_per_iter={"fadd": float(adds), "fmul": float(muls)},
+        accesses=(
+            [ArrayAccess("arr", reads_per_iter=float(reads))] if reads else []
+        ),
+        recurrence_ii=recurrence,
+    )
+    arrays = {"arr": ArraySpec(name="arr", words=words)}
+    return loop, arrays
+
+
+class TestSchedulingInvariants:
+    @given(data=loop_and_arrays())
+    @settings(max_examples=80, deadline=None)
+    def test_ii_at_least_recurrence(self, data):
+        loop, arrays = data
+        sched = schedule_loop(
+            loop, DirectiveSet(pipeline=PipelineDirective()), arrays
+        )
+        assert sched.achieved_ii >= loop.recurrence_ii
+
+    @given(data=loop_and_arrays())
+    @settings(max_examples=80, deadline=None)
+    def test_partitioning_never_hurts_ii(self, data):
+        loop, arrays = data
+        plain = DirectiveSet(pipeline=PipelineDirective())
+        split = DirectiveSet(pipeline=PipelineDirective())
+        split.add_partition(ArrayPartitionDirective(array="arr", factor=8))
+        ii_plain = schedule_loop(loop, plain, arrays).achieved_ii
+        ii_split = schedule_loop(loop, split, arrays).achieved_ii
+        assert ii_split <= ii_plain
+
+    @given(data=loop_and_arrays())
+    @settings(max_examples=80, deadline=None)
+    def test_pipelining_never_slower_than_sequential(self, data):
+        loop, arrays = data
+        pipelined = schedule_loop(
+            loop, DirectiveSet(pipeline=PipelineDirective()), arrays
+        )
+        sequential = schedule_loop(loop, DirectiveSet(), arrays)
+        assert pipelined.latency <= sequential.latency
+
+    @given(data=loop_and_arrays(), factor=st.integers(2, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_unroll_reduces_trips(self, data, factor):
+        loop, arrays = data
+        ds = DirectiveSet(
+            pipeline=PipelineDirective(), unroll=UnrollDirective(factor=factor)
+        )
+        sched = schedule_loop(loop, ds, arrays)
+        assert sched.trips == -(-loop.trip_count // min(factor, loop.trip_count))
+
+    @given(data=loop_and_arrays())
+    @settings(max_examples=60, deadline=None)
+    def test_lower_ii_never_needs_fewer_units(self, data):
+        """Resource monotonicity: halving II cannot shrink the datapath."""
+        loop, arrays = data
+        fast = schedule_loop(
+            loop, DirectiveSet(pipeline=PipelineDirective(target_ii=1)), arrays
+        )
+        slow = schedule_loop(
+            loop, DirectiveSet(pipeline=PipelineDirective(target_ii=4)), arrays
+        )
+        res_fast = loop_resources(loop, fast)
+        res_slow = loop_resources(loop, slow)
+        assert res_fast.dsp >= res_slow.dsp
+        assert res_fast.lut >= res_slow.lut

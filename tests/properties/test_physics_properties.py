@@ -1,0 +1,110 @@
+"""Property-based tests on the physics layer (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.physics.fluxes import convective_fluxes
+from repro.physics.gas import GasProperties
+from repro.physics.state import FlowState
+from repro.physics.viscous import stress_tensor, viscous_dissipation
+
+finite = st.floats(
+    min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False
+)
+positive = st.floats(
+    min_value=0.1, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def primitive_state(draw):
+    n = draw(st.integers(min_value=1, max_value=16))
+    rho = draw(
+        arrays(np.float64, (n,), elements=positive)
+    )
+    vel = draw(arrays(np.float64, (3, n), elements=finite))
+    temp = draw(arrays(np.float64, (n,), elements=st.floats(100.0, 600.0)))
+    return rho, vel, temp
+
+
+class TestStateProperties:
+    @given(data=primitive_state())
+    @settings(max_examples=60, deadline=None)
+    def test_primitive_roundtrip(self, data):
+        rho, vel, temp = data
+        gas = GasProperties()
+        state = FlowState.from_primitive(rho, vel, temp, gas)
+        assert np.allclose(state.velocity(), vel, atol=1e-10)
+        assert np.allclose(state.temperature(gas), temp, rtol=1e-10)
+        state.validate()
+
+    @given(data=primitive_state())
+    @settings(max_examples=60, deadline=None)
+    def test_stacking_roundtrip(self, data):
+        rho, vel, temp = data
+        state = FlowState.from_primitive(rho, vel, temp, GasProperties())
+        back = FlowState.from_stacked(state.as_stacked())
+        assert np.allclose(back.rho, state.rho)
+        assert np.allclose(back.total_energy, state.total_energy)
+
+    @given(data=primitive_state())
+    @settings(max_examples=60, deadline=None)
+    def test_pressure_positive_for_physical_states(self, data):
+        rho, vel, temp = data
+        gas = GasProperties()
+        state = FlowState.from_primitive(rho, vel, temp, gas)
+        assert (state.pressure(gas) > 0).all()
+
+
+class TestTensorProperties:
+    @given(
+        grad=arrays(np.float64, (4, 3, 3), elements=finite),
+        mu=st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_stress_symmetric_and_traceless(self, grad, mu):
+        tau = stress_tensor(grad, mu)
+        assert np.allclose(tau, np.swapaxes(tau, -1, -2), atol=1e-10)
+        assert np.allclose(
+            np.trace(tau, axis1=-2, axis2=-1), 0.0, atol=1e-9
+        )
+
+    @given(
+        grad=arrays(np.float64, (4, 3, 3), elements=finite),
+        mu=st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_dissipation_nonnegative(self, grad, mu):
+        phi = viscous_dissipation(grad, mu)
+        assert (phi >= -1e-9).all()
+
+
+class TestFluxProperties:
+    @given(data=primitive_state())
+    @settings(max_examples=60, deadline=None)
+    def test_galilean_momentum_flux_symmetry(self, data):
+        rho, vel, temp = data
+        gas = GasProperties()
+        state = FlowState.from_primitive(rho, vel, temp, gas)
+        fluxes = convective_fluxes(
+            state.rho, state.velocity(), state.pressure(gas), state.total_energy
+        )
+        assert np.allclose(
+            fluxes.momentum, np.swapaxes(fluxes.momentum, -1, -2), atol=1e-9
+        )
+
+    @given(data=primitive_state())
+    @settings(max_examples=40, deadline=None)
+    def test_mass_flux_is_momentum(self, data):
+        rho, vel, temp = data
+        gas = GasProperties()
+        state = FlowState.from_primitive(rho, vel, temp, gas)
+        fluxes = convective_fluxes(
+            state.rho, state.velocity(), state.pressure(gas), state.total_energy
+        )
+        assert np.allclose(
+            fluxes.mass, np.moveaxis(state.momentum, 0, -1), atol=1e-9
+        )

@@ -1,0 +1,68 @@
+"""Property-based tests on the workload characterization (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver.workload import (
+    OpCount,
+    full_step_workload,
+    workload_for_node_count,
+)
+
+counts = st.floats(min_value=0, max_value=1e6, allow_nan=False)
+
+
+class TestOpCountAlgebra:
+    @given(
+        a=st.builds(OpCount, adds=counts, muls=counts, dram_reads=counts),
+        b=st.builds(OpCount, adds=counts, divs=counts, dram_writes=counts),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_addition_componentwise(self, a, b):
+        c = a + b
+        assert c.adds == a.adds + b.adds
+        assert c.flops == pytest.approx(a.flops + b.flops)
+        assert c.dram_values == pytest.approx(a.dram_values + b.dram_values)
+
+    @given(
+        a=st.builds(OpCount, adds=counts, muls=counts),
+        f=st.floats(min_value=0, max_value=100, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_scaling_linear(self, a, f):
+        assert a.scaled(f).flops == pytest.approx(a.flops * f)
+
+
+class TestWorkloadScaling:
+    @given(
+        nodes=st.integers(min_value=1_000, max_value=5_000_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_phases_scale_linearly_with_nodes(self, nodes):
+        w1 = workload_for_node_count(nodes)
+        w2 = workload_for_node_count(2 * nodes)
+        for name in w1.phases:
+            ratio = w2.phases[name].ops.flops / w1.phases[name].ops.flops
+            assert ratio == pytest.approx(2.0, rel=0.01), name
+
+    @given(
+        nodes=st.integers(min_value=8, max_value=100_000),
+        elements=st.integers(min_value=1, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_diffusion_always_dominates_convection(self, nodes, elements):
+        w = full_step_workload(nodes, elements, 2)
+        assert (
+            w.phases["rk_diffusion"].ops.flops
+            > w.phases["rk_convection"].ops.flops
+        )
+
+    @given(nodes=st.integers(min_value=1_000, max_value=1_000_000))
+    @settings(max_examples=30, deadline=None)
+    def test_all_counts_nonnegative(self, nodes):
+        w = workload_for_node_count(nodes)
+        for phase in w.phases.values():
+            ops = phase.ops
+            assert min(ops.adds, ops.muls, ops.divs, ops.specials) >= 0
+            assert min(ops.dram_reads, ops.dram_writes) >= 0

@@ -1,0 +1,85 @@
+"""Phase profiler: accumulation, nesting, Fig. 2 categorization."""
+
+import time
+
+import pytest
+
+from repro.errors import SolverError
+from repro.solver.profiler import (
+    PAPER_FIG2_BREAKDOWN,
+    PhaseBreakdown,
+    PhaseProfiler,
+)
+
+
+class TestAccumulation:
+    def test_single_phase(self):
+        prof = PhaseProfiler()
+        with prof.phase("a"):
+            time.sleep(0.01)
+        assert prof.total("a") >= 0.01
+        assert prof.total("missing") == 0.0
+
+    def test_nested_phases_partition_time(self):
+        prof = PhaseProfiler()
+        with prof.phase("outer"):
+            time.sleep(0.005)
+            with prof.phase("inner"):
+                time.sleep(0.01)
+            time.sleep(0.005)
+        total = prof.grand_total()
+        assert prof.total("inner") >= 0.01
+        assert prof.total("outer") >= 0.009
+        # no double counting: totals partition wall clock
+        assert abs(total - (prof.total("inner") + prof.total("outer"))) < 1e-9
+
+    def test_reset(self):
+        prof = PhaseProfiler()
+        with prof.phase("a"):
+            pass
+        prof.reset()
+        assert prof.grand_total() == 0.0
+
+    def test_reset_inside_phase_rejected(self):
+        prof = PhaseProfiler()
+        with pytest.raises(SolverError):
+            with prof.phase("a"):
+                prof.reset()
+
+    def test_report_contains_phases(self):
+        prof = PhaseProfiler()
+        with prof.phase("rk.diffusion"):
+            pass
+        assert "rk.diffusion" in prof.report()
+
+
+class TestBreakdown:
+    def test_categorization(self):
+        prof = PhaseProfiler()
+        with prof.phase("rk.diffusion"):
+            time.sleep(0.004)
+        with prof.phase("rk.convection"):
+            time.sleep(0.002)
+        with prof.phase("rk.update"):
+            time.sleep(0.002)
+        with prof.phase("non_rk"):
+            time.sleep(0.002)
+        b = prof.breakdown()
+        assert b.rk_diffusion > b.rk_convection
+        assert b.rk_total > 0.5
+        assert b.rk_diffusion + b.rk_convection + b.rk_other + b.non_rk == (
+            pytest.approx(1.0)
+        )
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(SolverError):
+            PhaseProfiler().breakdown()
+
+    def test_paper_reference_values(self):
+        assert PAPER_FIG2_BREAKDOWN.rk_total == pytest.approx(0.7637, abs=1e-4)
+        pct = PAPER_FIG2_BREAKDOWN.as_percentages()
+        assert pct["RK(Diffusion)"] == pytest.approx(39.2)
+
+    def test_breakdown_must_sum_to_one(self):
+        with pytest.raises(SolverError):
+            PhaseBreakdown(0.5, 0.2, 0.1, 0.1)

@@ -1,0 +1,57 @@
+"""CFL step-size bounds."""
+
+import pytest
+
+from repro.errors import TimeIntegrationError
+from repro.timeint.cfl import (
+    advective_time_step,
+    diffusive_time_step,
+    stable_time_step,
+)
+
+
+class TestAdvective:
+    def test_formula(self):
+        assert advective_time_step(0.1, 10.0, cfl=0.5) == pytest.approx(0.005)
+
+    def test_scales_with_cfl(self):
+        a = advective_time_step(0.1, 10.0, cfl=0.25)
+        b = advective_time_step(0.1, 10.0, cfl=0.5)
+        assert b == pytest.approx(2 * a)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_spacing": 0.0, "max_wave_speed": 1.0},
+            {"min_spacing": 1.0, "max_wave_speed": 0.0},
+            {"min_spacing": 1.0, "max_wave_speed": 1.0, "cfl": 0.0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(TimeIntegrationError):
+            advective_time_step(**kwargs)
+
+
+class TestDiffusive:
+    def test_formula(self):
+        assert diffusive_time_step(0.1, 0.01, cfl_diffusive=0.25) == (
+            pytest.approx(0.25 * 0.01 / 0.01)
+        )
+
+    def test_inviscid_is_unbounded(self):
+        assert diffusive_time_step(0.1, 0.0) == float("inf")
+
+    def test_quadratic_in_spacing(self):
+        a = diffusive_time_step(0.1, 0.01)
+        b = diffusive_time_step(0.2, 0.01)
+        assert b == pytest.approx(4 * a)
+
+
+class TestCombined:
+    def test_takes_minimum(self):
+        # high viscosity -> diffusive bound binds
+        dt = stable_time_step(0.1, 1.0, kinematic_viscosity=10.0)
+        assert dt == pytest.approx(diffusive_time_step(0.1, 10.0))
+        # inviscid -> advective bound binds
+        dt = stable_time_step(0.1, 1.0, kinematic_viscosity=0.0)
+        assert dt == pytest.approx(advective_time_step(0.1, 1.0))

@@ -1,0 +1,90 @@
+"""RK integrator: exactness, convergence order, hooks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TimeIntegrationError
+from repro.timeint.butcher import FORWARD_EULER, HEUN2, RK4, RK4_38, SSP_RK3
+from repro.timeint.runge_kutta import integrate, rk_step, rk_step_stacked
+
+
+def decay(t, y):
+    return -y
+
+
+class TestExactness:
+    def test_rk4_exact_for_cubic_polynomial_rhs(self):
+        """RK4 integrates y' = 3t^2 (y = t^3) exactly."""
+        y = rk_step(lambda t, y: np.array([3 * t**2]), 0.0, np.array([0.0]), 1.0, RK4)
+        assert y[0] == pytest.approx(1.0, abs=1e-14)
+
+    def test_euler_linear_rhs(self):
+        y = rk_step(lambda t, y: np.array([2.0]), 0.0, np.array([1.0]), 0.5, FORWARD_EULER)
+        assert y[0] == pytest.approx(2.0)
+
+
+class TestConvergenceOrder:
+    @pytest.mark.parametrize(
+        "tableau,expected_order",
+        [
+            (FORWARD_EULER, 1),
+            (HEUN2, 2),
+            (SSP_RK3, 3),
+            (RK4, 4),
+            (RK4_38, 4),
+        ],
+        ids=lambda v: getattr(v, "name", v),
+    )
+    def test_observed_order_on_decay(self, tableau, expected_order):
+        exact = np.exp(-1.0)
+        errors = []
+        for steps in (8, 16):
+            _, states = integrate(
+                decay, 0.0, np.array([1.0]), 1.0 / steps, steps, tableau
+            )
+            errors.append(abs(states[-1, 0] - exact))
+        observed = np.log2(errors[0] / errors[1])
+        assert observed == pytest.approx(expected_order, abs=0.35)
+
+
+class TestMechanics:
+    def test_invalid_dt(self):
+        with pytest.raises(TimeIntegrationError):
+            rk_step(decay, 0.0, np.array([1.0]), 0.0, RK4)
+
+    def test_integrate_records_every_step(self):
+        times, states = integrate(decay, 0.0, np.array([1.0]), 0.1, 5, RK4)
+        assert times.shape == (6,)
+        assert states.shape == (6, 1)
+        assert np.allclose(times, 0.1 * np.arange(6))
+
+    def test_input_not_mutated(self):
+        y0 = np.array([1.0, 2.0])
+        rk_step(decay, 0.0, y0, 0.1, RK4)
+        assert np.array_equal(y0, [1.0, 2.0])
+
+    def test_vector_state(self):
+        y0 = np.array([1.0, 2.0, 3.0])
+        y1 = rk_step(decay, 0.0, y0, 0.01, RK4)
+        assert np.allclose(y1, y0 * np.exp(-0.01), atol=1e-10)
+
+
+class TestPostStageHook:
+    def test_hook_called_per_stage_plus_final(self):
+        calls = []
+        rk_step_stacked(
+            decay,
+            0.0,
+            np.array([1.0]),
+            0.1,
+            RK4,
+            post_stage=lambda y: calls.append(y.copy()),
+        )
+        assert len(calls) == RK4.num_stages + 1
+
+    def test_hook_result_matches_plain_step(self):
+        plain = rk_step(decay, 0.0, np.array([1.0]), 0.1, RK4)
+        hooked = rk_step_stacked(
+            decay, 0.0, np.array([1.0]), 0.1, RK4, post_stage=lambda y: None
+        )
+        assert np.allclose(plain, hooked)
