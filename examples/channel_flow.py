@@ -10,15 +10,17 @@ rare wall-bounded case with a closed-form Navier-Stokes solution).
 
 Usage::
 
-    python examples/channel_flow.py [elements_per_direction] [steps]
+    python examples/channel_flow.py [elements_per_direction] [steps] \
+        [--backend reference|fast]
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
 
 import numpy as np
 
+from repro.backend import add_backend_argument, resolve_backend_name
 from repro.mesh import channel_mesh
 from repro.physics.channel import (
     decaying_shear_exact,
@@ -30,19 +32,24 @@ from repro.solver.simulation import Simulation
 
 
 def main() -> None:
-    elements = int(sys.argv[1]) if len(sys.argv) > 1 else 4
-    steps = int(sys.argv[2]) if len(sys.argv) > 2 else 40
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("elements", nargs="?", type=int, default=4)
+    parser.add_argument("steps", nargs="?", type=int, default=40)
+    add_backend_argument(parser)
+    args = parser.parse_args()
+    elements, steps = args.elements, args.steps
+    backend = resolve_backend_name(args.backend)
 
     case = TGVCase(mach=0.05, reynolds=100.0)
     mesh = channel_mesh(elements, polynomial_order=2)
     print(
         f"== channel flow: {elements}^3 elements, periodic x/y, "
-        f"no-slip isothermal walls in z =="
+        f"no-slip isothermal walls in z, backend '{backend}' =="
     )
     print(f"mesh: {mesh.num_nodes} nodes, periodic axes {mesh.periodic_axes}")
 
     init = decaying_shear_initial(mesh.coords, case)
-    sim = Simulation(mesh, case, initial_state=init, cfl=0.4)
+    sim = Simulation(mesh, case, initial_state=init, cfl=0.4, backend=backend)
     print(f"wall nodes strongly enforced: {sim.operator.wall_nodes.size}")
 
     result = sim.run(steps)

@@ -10,13 +10,15 @@
 
 Usage::
 
-    python examples/profile_breakdown.py [elements_per_direction] [steps]
+    python examples/profile_breakdown.py [elements_per_direction] [steps] \
+        [--backend reference|fast]
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
 
+from repro.backend import add_backend_argument, resolve_backend_name
 from repro.experiments.fig2_breakdown import render_fig2, run_fig2
 from repro.mesh.hexmesh import periodic_box_mesh
 from repro.physics.taylor_green import DEFAULT_TGV
@@ -24,8 +26,13 @@ from repro.solver.simulation import Simulation
 
 
 def main() -> None:
-    elements = int(sys.argv[1]) if len(sys.argv) > 1 else 5
-    steps = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("elements", nargs="?", type=int, default=5)
+    parser.add_argument("steps", nargs="?", type=int, default=8)
+    add_backend_argument(parser)
+    args = parser.parse_args()
+    elements, steps = args.elements, args.steps
+    backend = resolve_backend_name(args.backend)
 
     print("== model-level breakdown (paper mesh sizes, Xeon roofline) ==")
     print(render_fig2(run_fig2()))
@@ -33,10 +40,10 @@ def main() -> None:
     print()
     print(
         f"== measured breakdown (numpy solver, {elements}^3 elements, "
-        f"{steps} steps) =="
+        f"{steps} steps, backend '{backend}') =="
     )
     mesh = periodic_box_mesh(elements, 2)
-    sim = Simulation(mesh, DEFAULT_TGV)
+    sim = Simulation(mesh, DEFAULT_TGV, backend=backend)
     sim.run(steps)
     print(sim.profiler.report())
 

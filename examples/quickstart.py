@@ -7,15 +7,17 @@ same workload on the modeled FPGA accelerator and the Xeon baseline.
 
 Usage::
 
-    python examples/quickstart.py [elements_per_direction] [steps]
+    python examples/quickstart.py [elements_per_direction] [steps] \
+        [--backend reference|fast]
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
 
 from repro.accel.cosim import design_timing
 from repro.accel.designs import proposed_design
+from repro.backend import add_backend_argument, resolve_backend_name
 from repro.cpu.xeon import cpu_step_time
 from repro.mesh.hexmesh import periodic_box_mesh
 from repro.physics.taylor_green import DEFAULT_TGV
@@ -23,17 +25,25 @@ from repro.solver.simulation import Simulation
 
 
 def main() -> None:
-    elements = int(sys.argv[1]) if len(sys.argv) > 1 else 4
-    steps = int(sys.argv[2]) if len(sys.argv) > 2 else 10
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("elements", nargs="?", type=int, default=4)
+    parser.add_argument("steps", nargs="?", type=int, default=10)
+    add_backend_argument(parser)
+    args = parser.parse_args()
+    elements, steps = args.elements, args.steps
+    backend = resolve_backend_name(args.backend)
 
-    print(f"== TGV quickstart: {elements}^3 elements, {steps} RK4 steps ==")
+    print(
+        f"== TGV quickstart: {elements}^3 elements, {steps} RK4 steps, "
+        f"backend '{backend}' =="
+    )
     mesh = periodic_box_mesh(elements, polynomial_order=2)
     print(
         f"mesh: {mesh.num_elements} hex elements, {mesh.num_nodes} GLL nodes, "
         f"Ma {DEFAULT_TGV.mach}, Re {DEFAULT_TGV.reynolds:.0f}"
     )
 
-    sim = Simulation(mesh, DEFAULT_TGV)
+    sim = Simulation(mesh, DEFAULT_TGV, backend=backend)
     result = sim.run(steps)
 
     print("\nstep   time       dt         E_k        max|u|")

@@ -10,13 +10,16 @@ correct physics.
 
 Usage::
 
-    python examples/taylor_green_validation.py
+    python examples/taylor_green_validation.py [--backend reference|fast]
 """
 
 from __future__ import annotations
 
+import argparse
+
 import numpy as np
 
+from repro.backend import add_backend_argument, resolve_backend_name
 from repro.mesh.hexmesh import periodic_box_mesh
 from repro.physics.taylor_green import (
     TGVCase,
@@ -26,10 +29,10 @@ from repro.physics.taylor_green import (
 from repro.solver.simulation import Simulation
 
 
-def run_case(elements: int, case: TGVCase, steps: int, dt: float):
+def run_case(elements: int, case: TGVCase, steps: int, dt: float, backend=None):
     mesh = periodic_box_mesh(elements, 2)
     init = taylor_green_2d_initial(mesh.coords, case)
-    sim = Simulation(mesh, case, initial_state=init)
+    sim = Simulation(mesh, case, initial_state=init, backend=backend)
     result = sim.run(steps, dt=dt)
     v_exact, _ = taylor_green_2d_exact(mesh.coords, sim.time, case)
     v_num = result.final_state.velocity()
@@ -39,16 +42,24 @@ def run_case(elements: int, case: TGVCase, steps: int, dt: float):
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_backend_argument(parser)
+    args = parser.parse_args()
+    backend = resolve_backend_name(args.backend)
+
     case = TGVCase(mach=0.05, reynolds=100.0)
     nu = case.viscosity / case.rho0
     steps, dt = 40, 2.5e-3
 
-    print("== 2D Taylor-Green validation (Ma 0.05, Re 100) ==")
+    print(
+        f"== 2D Taylor-Green validation (Ma 0.05, Re 100), "
+        f"backend '{backend}' =="
+    )
     print(f"{'elems/dir':>10} {'nodes':>8} {'rel. RMS error':>16} {'order':>7}")
     prev_err = None
     prev_h = None
     for elements in (3, 4, 6, 8):
-        t_final, err, result = run_case(elements, case, steps, dt)
+        t_final, err, result = run_case(elements, case, steps, dt, backend=backend)
         h = 1.0 / elements
         order = (
             np.log(prev_err / err) / np.log(prev_h / h)

@@ -177,17 +177,20 @@ def cosimulate_small_mesh(
     design: AcceleratorDesign,
     mesh: HexMesh,
     num_steps: int = 2,
+    backend: str | None = None,
 ) -> CosimResult:
     """Run functional solve + cycle-level pipeline on one small mesh.
 
     The functional result (from :class:`repro.solver.Simulation`) proves
     the workload is real physics; the cycle-level trace validates the
-    analytic extrapolation the experiments rely on.
+    analytic extrapolation the experiments rely on. ``backend`` selects
+    the compute backend of the functional solver (``None`` defers to the
+    ``REPRO_BACKEND`` environment variable, then ``"reference"``).
     """
     from ..physics.taylor_green import DEFAULT_TGV
     from ..solver.simulation import Simulation
 
-    sim = Simulation(mesh, DEFAULT_TGV)
+    sim = Simulation(mesh, DEFAULT_TGV, backend=backend)
     result = sim.run(num_steps)
 
     graph = build_rkl_dataflow_graph(design, mesh.num_nodes)

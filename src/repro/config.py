@@ -117,6 +117,14 @@ class SolverConfig:
         Ratio of specific heats for the ideal gas.
     gas_constant:
         Specific gas constant R.
+    backend:
+        Name of the compute backend executing the FEM hot kernels
+        (``"reference"``, ``"fast"``, or any name registered with
+        :func:`repro.backend.register_backend`). ``None`` defers to the
+        ``REPRO_BACKEND`` environment variable, then ``"reference"``.
+        Resolved lazily — validation of the *name* happens when a solver
+        asks the registry for it, so configs can be built before custom
+        backends register.
     """
 
     polynomial_order: int = 2
@@ -125,8 +133,15 @@ class SolverConfig:
     prandtl: float = 0.71
     gamma: float = 1.4
     gas_constant: float = 287.0
+    backend: str | None = None
 
     def __post_init__(self) -> None:
+        if self.backend is not None and (
+            not isinstance(self.backend, str) or not self.backend.strip()
+        ):
+            raise ConfigurationError(
+                "backend must be None or a non-empty backend name"
+            )
         if self.polynomial_order < 1:
             raise ConfigurationError("polynomial_order must be >= 1")
         if not (0.0 < self.cfl <= 2.0):

@@ -44,6 +44,9 @@ def scatter_add(
     Shared nodes receive the *sum* of all element contributions
     (direct stiffness summation). Implemented with ``bincount``, which is
     substantially faster than ``np.add.at`` for large meshes.
+    Accumulation always happens in float64 (``bincount`` requires it),
+    but the result is cast back so the input dtype is preserved —
+    float32 pipelines (the accelerator's native precision) stay float32.
     """
     element_values = np.asarray(element_values)
     if element_values.shape != connectivity.shape:
@@ -53,7 +56,10 @@ def scatter_add(
         )
     flat_idx = connectivity.ravel()
     flat_val = np.ascontiguousarray(element_values, dtype=np.float64).ravel()
-    return np.bincount(flat_idx, weights=flat_val, minlength=num_nodes)
+    out = np.bincount(flat_idx, weights=flat_val, minlength=num_nodes)
+    if element_values.dtype != np.float64:
+        out = out.astype(element_values.dtype)
+    return out
 
 
 def scatter_add_many(
@@ -63,7 +69,7 @@ def scatter_add_many(
     element_values = np.asarray(element_values)
     if element_values.ndim != 3:
         raise FEMError(f"element_values must be (F, E, Q), got {element_values.shape}")
-    out = np.empty((element_values.shape[0], num_nodes))
+    out = np.empty((element_values.shape[0], num_nodes), dtype=element_values.dtype)
     for f_idx in range(element_values.shape[0]):
         out[f_idx] = scatter_add(element_values[f_idx], connectivity, num_nodes)
     return out

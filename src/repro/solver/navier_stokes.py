@@ -9,28 +9,44 @@ its Fig. 1 dataflow graph:
   the viscous stress ``tau``, the viscous/heat fluxes and their
   weak-divergence residuals -> STORE contribution.
 
-Each pass performs its own gather and scatter-add, mirroring the paper's
-profiled C++ (whose diffusion and convection functions are independent,
-which is also what lets the accelerator merge them for hardware reuse).
-A ``fused`` mode shares one gather between the passes — the software
-analogue of that merge — used where wall-clock matters more than
-attribution fidelity.
+Every kernel on this path — gather, gradients, weak divergences,
+scatter-add — routes through a pluggable :class:`~repro.backend.KernelBackend`
+(select with the ``backend`` argument, ``SolverConfig.backend``, or the
+``REPRO_BACKEND`` environment variable), the software analogue of the
+paper's retargetable dataflow.
+
+Three fusion levels control how much of the Fig. 1 round-trip the two
+passes share (``fusion=``):
+
+- ``"none"`` — independent gather/scatter per pass, mirroring the
+  paper's profiled C++ (whose diffusion and convection functions are
+  independent, which is also what lets the accelerator merge them);
+- ``"gather"`` — one shared gather, separate scatters (the historical
+  ``fused=True`` mode);
+- ``"full"`` — one gather, the convective and viscous fluxes combined
+  per node, one weak divergence and one scatter-add for the summed
+  residual: the software analogue of the accelerator's merged
+  diffusion+convection COMPUTE module. Fastest; phase attribution of the
+  shared stages degrades to RK(Other).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..backend import KernelBackend, get_backend
 from ..errors import SolverError
-from ..fem.assembly import gather, lumped_mass, scatter_add
+from ..fem.assembly import lumped_mass
 from ..fem.geometry import compute_geometry
-from ..fem.operators import physical_gradient, weak_divergence
 from ..fem.reference import reference_hex
 from ..mesh.hexmesh import HexMesh
-from ..physics.fluxes import convective_fluxes, viscous_fluxes
+from ..physics.fluxes import combined_rhs_fluxes, convective_fluxes, viscous_fluxes
 from ..physics.gas import GasProperties
 from ..physics.state import NUM_CONSERVED, FlowState
 from .profiler import PhaseProfiler
+
+#: Valid values of the ``fusion`` parameter.
+FUSION_MODES = ("none", "gather", "full")
 
 
 class NavierStokesOperator:
@@ -47,7 +63,13 @@ class NavierStokesOperator:
         ``rk.convection`` and ``rk.other`` are attributed as in the
         paper's Fig. 2.
     fused:
-        Share one gather between the diffusion and convection passes.
+        Back-compat alias: ``fused=True`` selects ``fusion="gather"``.
+    fusion:
+        One of :data:`FUSION_MODES`; overrides ``fused`` when given.
+    backend:
+        Compute backend for the hot kernels: a name (``"reference"``,
+        ``"fast"``), a :class:`~repro.backend.KernelBackend` instance, or
+        ``None`` for the environment/default selection.
     """
 
     def __init__(
@@ -56,10 +78,19 @@ class NavierStokesOperator:
         gas: GasProperties,
         profiler: PhaseProfiler | None = None,
         fused: bool = False,
+        fusion: str | None = None,
+        backend: str | KernelBackend | None = None,
     ) -> None:
         self.mesh = mesh
         self.gas = gas
-        self.fused = fused
+        if fusion is None:
+            fusion = "gather" if fused else "none"
+        if fusion not in FUSION_MODES:
+            raise SolverError(
+                f"fusion must be one of {FUSION_MODES}, got {fusion!r}"
+            )
+        self.fusion = fusion
+        self.backend = get_backend(backend)
         self.profiler = profiler if profiler is not None else PhaseProfiler()
         self.ref = reference_hex(mesh.polynomial_order)
         self.geom = compute_geometry(mesh.corner_coords, self.ref)
@@ -76,6 +107,11 @@ class NavierStokesOperator:
 
             tags = tag_box_boundaries(mesh)
             self.wall_nodes = np.nonzero(tags != 0)[0]
+
+    @property
+    def fused(self) -> bool:
+        """Back-compat: whether any gather sharing is active."""
+        return self.fusion != "none"
 
     # -- element-local physics ----------------------------------------------
 
@@ -98,21 +134,28 @@ class NavierStokesOperator:
         temperature = internal / (rho * self.gas.cv)
         return rho, velocity, pressure, temperature, total_energy
 
+    def _viscous_element_fluxes(self, velocity: np.ndarray, temperature: np.ndarray):
+        """Viscous/heat :class:`FluxSet` from the batched node gradients.
+
+        Computes the gradients of the three velocity components and the
+        temperature in one backend call (COMPUTE-Gradients in Fig. 1),
+        then the stress tensor and fluxes (stages 2a/2b/2c of Fig. 3).
+        """
+        fields = np.concatenate([velocity, temperature[None]], axis=0)
+        grads = self.backend.physical_gradient_many(fields, self.geom, self.ref)
+        grad_u = np.moveaxis(grads[:3], 0, 2)  # (E, Q, i, j) = du_i/dx_j
+        grad_t = grads[3]
+        return viscous_fluxes(velocity, grad_u, grad_t, self.gas)
+
     def convection_element_residuals(self, state_elem: np.ndarray) -> np.ndarray:
         """Per-element convection residuals ``-div F_c`` (weak), ``(5, E, Q)``."""
         rho, velocity, pressure, _temperature, total_energy = (
             self._element_primitives(state_elem)
         )
         fluxes = convective_fluxes(rho, velocity, pressure, total_energy)
-        num_elem, nodes = rho.shape
-        out = np.empty((NUM_CONSERVED, num_elem, nodes))
-        out[0] = -weak_divergence(fluxes.mass, self.geom, self.ref)
-        for i in range(3):
-            out[1 + i] = -weak_divergence(
-                fluxes.momentum[..., i, :], self.geom, self.ref
-            )
-        out[4] = -weak_divergence(fluxes.energy, self.geom, self.ref)
-        return out
+        return -self.backend.weak_divergence_many(
+            fluxes.stacked(), self.geom, self.ref
+        )
 
     def diffusion_element_residuals(self, state_elem: np.ndarray) -> np.ndarray:
         """Per-element diffusion residuals ``+div F_v`` (weak), ``(5, E, Q)``.
@@ -124,41 +167,57 @@ class NavierStokesOperator:
         _rho, velocity, _pressure, temperature, _total_energy = (
             self._element_primitives(state_elem)
         )
+        fluxes = self._viscous_element_fluxes(velocity, temperature)
         num_elem, nodes = temperature.shape
-        grad_u = np.empty((num_elem, nodes, 3, 3))
-        for i in range(3):
-            grad_u[:, :, i, :] = physical_gradient(velocity[i], self.geom, self.ref)
-        grad_t = physical_gradient(temperature, self.geom, self.ref)
-        fluxes = viscous_fluxes(velocity, grad_u, grad_t, self.gas)
         out = np.zeros((NUM_CONSERVED, num_elem, nodes))
-        for i in range(3):
-            out[1 + i] = weak_divergence(
-                fluxes.momentum[..., i, :], self.geom, self.ref
-            )
-        out[4] = weak_divergence(fluxes.energy, self.geom, self.ref)
+        # The mass equation has no viscous flux; only momentum + energy
+        # divergences are computed.
+        stacked = np.stack(
+            [fluxes.momentum[..., i, :] for i in range(3)] + [fluxes.energy]
+        )
+        out[1:] = self.backend.weak_divergence_many(stacked, self.geom, self.ref)
         return out
+
+    def fused_element_residuals(self, state_elem: np.ndarray) -> np.ndarray:
+        """Convection + diffusion residuals in one pass, ``(5, E, Q)``.
+
+        Combines the convective and viscous fluxes per node and takes a
+        *single* weak divergence per conserved field (5 instead of 9),
+        the element-level arithmetic sharing of the accelerator's merged
+        COMPUTE module. Linearity of the weak divergence makes this
+        exactly the sum of the two separate passes (up to rounding).
+        """
+        rho, velocity, pressure, temperature, total_energy = (
+            self._element_primitives(state_elem)
+        )
+        conv = convective_fluxes(rho, velocity, pressure, total_energy)
+        visc = self._viscous_element_fluxes(velocity, temperature)
+        net = combined_rhs_fluxes(conv, visc)
+        return -self.backend.weak_divergence_many(
+            net.stacked(), self.geom, self.ref
+        )
 
     # -- global residual ------------------------------------------------------
 
     def _gather_state(self, stacked: np.ndarray) -> np.ndarray:
         """LOAD-element: ``(5, N)`` global state to ``(5, E, Q)`` local."""
-        return gather(stacked, self.mesh.connectivity)
+        return self.backend.gather(stacked, self.mesh.connectivity)
 
     def _scatter_residuals(self, element_res: np.ndarray) -> np.ndarray:
         """STORE-element-contribution: accumulate ``(5, E, Q)`` to ``(5, N)``."""
-        out = np.empty((NUM_CONSERVED, self.mesh.num_nodes))
-        for f_idx in range(NUM_CONSERVED):
-            out[f_idx] = scatter_add(
-                element_res[f_idx], self.mesh.connectivity, self.mesh.num_nodes
-            )
-        return out
+        return self.backend.scatter_add_many(
+            element_res, self.mesh.connectivity, self.mesh.num_nodes
+        )
 
     def residual(self, stacked: np.ndarray) -> np.ndarray:
         """Full right-hand side ``dq/dt`` for the stacked state ``(5, N)``.
 
-        The diffusion and convection contributions are computed by
-        independent element passes (as profiled in the paper) and summed
-        after assembly; the diagonal lumped mass is inverted pointwise.
+        With ``fusion="none"`` / ``"gather"`` the diffusion and
+        convection contributions are computed by independent element
+        passes (as profiled in the paper) and summed after assembly; with
+        ``fusion="full"`` one combined pass shares a single
+        gather/divergence/scatter round-trip. The diagonal lumped mass is
+        inverted pointwise either way.
         """
         stacked = np.asarray(stacked, dtype=np.float64)
         if stacked.shape != (NUM_CONSERVED, self.mesh.num_nodes):
@@ -166,7 +225,15 @@ class NavierStokesOperator:
                 f"state must be (5, {self.mesh.num_nodes}), got {stacked.shape}"
             )
         prof = self.profiler
-        if self.fused:
+        if self.fusion == "full":
+            # Shared stages cannot be split between the paper's Diffusion
+            # and Convection categories; rk.fused counts as RK(Other).
+            with prof.phase("rk.fused"):
+                state_elem = self._gather_state(stacked)
+                total = self._scatter_residuals(
+                    self.fused_element_residuals(state_elem)
+                )
+        elif self.fusion == "gather":
             with prof.phase("rk.other"):
                 state_elem = self._gather_state(stacked)
             with prof.phase("rk.convection"):
@@ -189,7 +256,10 @@ class NavierStokesOperator:
                     self.diffusion_element_residuals(state_elem)
                 )
         with prof.phase("rk.other"):
-            rhs = (conv + diff) / self.mass[None, :]
+            if self.fusion == "full":
+                rhs = total / self.mass[None, :]
+            else:
+                rhs = (conv + diff) / self.mass[None, :]
             if self.wall_nodes.size:
                 # No-slip isothermal walls: u and T (hence momentum and
                 # total energy) are prescribed, so their residuals vanish;
@@ -211,13 +281,17 @@ class NavierStokesOperator:
         conn = self.mesh.connectivity
         num_nodes = self.mesh.num_nodes
         scale = self.geom.quadrature_scale(self.ref)
+        backend = self.backend
         out = np.empty((num_nodes, 3, 3))
+        vel_elem = backend.gather(velocity, conn)  # (3, E, Q)
+        grads = backend.physical_gradient_many(vel_elem, self.geom, self.ref)
         for i in range(3):
-            vel_elem = gather(velocity[i], conn)
-            grad = physical_gradient(vel_elem, self.geom, self.ref)  # (E, Q, 3)
-            for j in range(3):
-                weighted = scatter_add(grad[:, :, j] * scale, conn, num_nodes)
-                out[:, i, j] = weighted / self.mass
+            weighted = backend.scatter_add_many(
+                np.moveaxis(grads[i], -1, 0) * scale[None],
+                conn,
+                num_nodes,
+            )
+            out[:, i, :] = weighted.T / self.mass[:, None]
         return out
 
     def stable_dt_inputs(self, state: FlowState) -> tuple[float, float]:

@@ -68,7 +68,56 @@ class SimulationResult:
 
 
 class Simulation:
-    """One TGV (or custom initial state) simulation on a periodic mesh."""
+    """One TGV (or custom initial state) simulation on a periodic mesh.
+
+    ``backend`` selects the compute backend for the operator's hot
+    kernels (name, :class:`~repro.backend.KernelBackend` instance, or
+    ``None`` for the ``REPRO_BACKEND``/default selection); ``fusion``
+    selects how much of the gather/scatter round-trip the diffusion and
+    convection passes share (see
+    :class:`~repro.solver.navier_stokes.NavierStokesOperator`).
+    """
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the compute backend the operator resolved."""
+        return self.operator.backend.name
+
+    @classmethod
+    def from_run_config(cls, config, case: TGVCase | None = None, **kwargs):
+        """Build a periodic TGV simulation from a :class:`~repro.config.RunConfig`.
+
+        Mesh size and polynomial order come from ``config.mesh``; the CFL
+        number and compute backend from ``config.solver`` (this is the
+        config-file channel for ``SolverConfig.backend``). When ``case``
+        is omitted, the TGV case physics are derived from
+        ``config.solver`` too — gamma, gas constant, Prandtl, and the
+        Reynolds number implied by its viscosity under the unit TGV
+        reference scales (``Re = rho0 V0 L / mu``) — so every field of
+        the config is honored. An explicit ``case`` takes precedence for
+        all physics. Keyword arguments override the config-derived
+        defaults. Run it with ``sim.run(config.num_time_steps)``.
+        """
+        import math
+
+        from ..mesh.hexmesh import periodic_box_mesh
+
+        solver = config.solver
+        if case is None:
+            case = TGVCase(
+                reynolds=(
+                    math.inf if solver.viscosity == 0 else 1.0 / solver.viscosity
+                ),
+                gamma=solver.gamma,
+                gas_constant=solver.gas_constant,
+                prandtl=solver.prandtl,
+            )
+        mesh = periodic_box_mesh(
+            config.mesh.elements_per_direction, config.mesh.polynomial_order
+        )
+        kwargs.setdefault("cfl", solver.cfl)
+        kwargs.setdefault("backend", solver.backend)
+        return cls(mesh, case, **kwargs)
 
     def __init__(
         self,
@@ -79,6 +128,8 @@ class Simulation:
         initial_state: FlowState | None = None,
         fused_operator: bool = False,
         cfl: float = 0.5,
+        fusion: str | None = None,
+        backend=None,
     ) -> None:
         self.case = case
         self.gas = case.gas()
@@ -87,7 +138,12 @@ class Simulation:
         self.profiler = profiler if profiler is not None else PhaseProfiler()
         with self.profiler.phase("non_rk"):
             self.operator = NavierStokesOperator(
-                mesh, self.gas, profiler=self.profiler, fused=fused_operator
+                mesh,
+                self.gas,
+                profiler=self.profiler,
+                fused=fused_operator,
+                fusion=fusion,
+                backend=backend,
             )
             if initial_state is None:
                 initial_state = taylor_green_initial(mesh.coords, case)

@@ -1,0 +1,206 @@
+"""Backend parity: ``"fast"`` must match ``"reference"`` everywhere.
+
+Property-style sweep over polynomial orders p in {3, 5, 7} (odd orders,
+distinct from the order-2 default used elsewhere in the suite), affine
+and non-affine geometries, every hot kernel, and a full TGV RHS
+evaluation. Tolerance is 1e-10 *relative* — far tighter than any
+physical tolerance, so any re-ordering bug (not just a wrong formula)
+is caught.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import get_backend
+from repro.fem.geometry import compute_geometry
+from repro.fem.reference import reference_hex
+from repro.mesh.hexmesh import periodic_box_mesh
+from repro.physics.taylor_green import DEFAULT_TGV, taylor_green_initial
+from repro.solver.navier_stokes import NavierStokesOperator
+
+ORDERS = (3, 5, 7)
+RTOL = 1e-10
+
+
+def rel_err(a: np.ndarray, b: np.ndarray) -> float:
+    scale = np.abs(a).max()
+    if scale == 0.0:
+        return float(np.abs(b).max())
+    return float(np.abs(a - b).max() / scale)
+
+
+@pytest.fixture(scope="module", params=ORDERS)
+def setup(request):
+    """Mesh, reference element, affine + curved geometry, both backends."""
+    p = request.param
+    mesh = periodic_box_mesh(2, p)
+    ref = reference_hex(p)
+    affine = compute_geometry(mesh.corner_coords, ref)
+    # Curved elements: a cross-coordinate (non-separable) perturbation so
+    # no element stays a parallelepiped, exercising the per-node-Jacobian
+    # branches.
+    corners = mesh.corner_coords.copy()
+    x, y, z = (mesh.corner_coords[..., i] for i in range(3))
+    corners[..., 0] += 0.05 * np.sin(y * z / 4.0 + 0.3)
+    corners[..., 1] += 0.05 * np.sin(z * x / 4.0 + 0.7)
+    corners[..., 2] += 0.05 * np.sin(x * y / 4.0 + 1.1)
+    curved = compute_geometry(corners, ref)
+    assert affine.is_affine and not curved.is_affine
+    rng = np.random.default_rng(1234 + p)
+    return mesh, ref, affine, curved, rng
+
+
+@pytest.fixture(scope="module")
+def backends():
+    return get_backend("reference"), get_backend("fast")
+
+
+class TestKernelParity:
+    def test_gather(self, setup, backends):
+        mesh, _ref, _affine, _curved, rng = setup
+        ref_b, fast_b = backends
+        for shape in [(mesh.num_nodes,), (5, mesh.num_nodes)]:
+            field = rng.standard_normal(shape)
+            a = ref_b.gather(field, mesh.connectivity)
+            b = fast_b.gather(field, mesh.connectivity)
+            assert np.array_equal(a, b)
+
+    def test_scatter_add(self, setup, backends):
+        mesh, ref, _affine, _curved, rng = setup
+        ref_b, fast_b = backends
+        values = rng.standard_normal((mesh.num_elements, ref.num_nodes))
+        a = ref_b.scatter_add(values, mesh.connectivity, mesh.num_nodes)
+        b = fast_b.scatter_add(values, mesh.connectivity, mesh.num_nodes)
+        assert rel_err(a, b) <= RTOL
+
+    def test_scatter_add_many(self, setup, backends):
+        mesh, ref, _affine, _curved, rng = setup
+        ref_b, fast_b = backends
+        values = rng.standard_normal((5, mesh.num_elements, ref.num_nodes))
+        a = ref_b.scatter_add_many(values, mesh.connectivity, mesh.num_nodes)
+        b = fast_b.scatter_add_many(values, mesh.connectivity, mesh.num_nodes)
+        assert rel_err(a, b) <= RTOL
+
+    def test_reference_gradient(self, setup, backends):
+        mesh, ref, _affine, _curved, rng = setup
+        ref_b, fast_b = backends
+        field = rng.standard_normal((mesh.num_elements, ref.num_nodes))
+        a = ref_b.reference_gradient(field, ref)
+        b = fast_b.reference_gradient(field, ref)
+        assert rel_err(a, b) <= RTOL
+
+    @pytest.mark.parametrize("geometry", ["affine", "curved"])
+    def test_physical_gradient(self, setup, backends, geometry):
+        mesh, ref, affine, curved, rng = setup
+        geom = affine if geometry == "affine" else curved
+        ref_b, fast_b = backends
+        field = rng.standard_normal((mesh.num_elements, ref.num_nodes))
+        a = ref_b.physical_gradient(field, geom, ref)
+        b = fast_b.physical_gradient(field, geom, ref)
+        assert rel_err(a, b) <= RTOL
+
+    @pytest.mark.parametrize("geometry", ["affine", "curved"])
+    def test_physical_gradient_many(self, setup, backends, geometry):
+        mesh, ref, affine, curved, rng = setup
+        geom = affine if geometry == "affine" else curved
+        ref_b, fast_b = backends
+        fields = rng.standard_normal((4, mesh.num_elements, ref.num_nodes))
+        a = ref_b.physical_gradient_many(fields, geom, ref)
+        b = fast_b.physical_gradient_many(fields, geom, ref)
+        assert rel_err(a, b) <= RTOL
+
+    @pytest.mark.parametrize("geometry", ["affine", "curved"])
+    def test_weak_divergence(self, setup, backends, geometry):
+        mesh, ref, affine, curved, rng = setup
+        geom = affine if geometry == "affine" else curved
+        ref_b, fast_b = backends
+        flux = rng.standard_normal((mesh.num_elements, ref.num_nodes, 3))
+        a = ref_b.weak_divergence(flux, geom, ref)
+        b = fast_b.weak_divergence(flux, geom, ref)
+        assert rel_err(a, b) <= RTOL
+
+    @pytest.mark.parametrize("geometry", ["affine", "curved"])
+    def test_weak_divergence_many(self, setup, backends, geometry):
+        mesh, ref, affine, curved, rng = setup
+        geom = affine if geometry == "affine" else curved
+        ref_b, fast_b = backends
+        fluxes = rng.standard_normal((5, mesh.num_elements, ref.num_nodes, 3))
+        a = ref_b.weak_divergence_many(fluxes, geom, ref)
+        b = fast_b.weak_divergence_many(fluxes, geom, ref)
+        assert rel_err(a, b) <= RTOL
+
+    def test_workspace_reuse_does_not_leak_between_calls(self, setup, backends):
+        """Two different inputs through the same fast backend instance must
+        not contaminate each other via the reused workspaces."""
+        mesh, ref, affine, _curved, rng = setup
+        _ref_b, fast_b = backends
+        f1 = rng.standard_normal((mesh.num_elements, ref.num_nodes, 3))
+        f2 = rng.standard_normal((mesh.num_elements, ref.num_nodes, 3))
+        first = fast_b.weak_divergence(f1, affine, ref).copy()
+        fast_b.weak_divergence(f2, affine, ref)
+        again = fast_b.weak_divergence(f1, affine, ref)
+        assert np.array_equal(first, again)
+
+
+class TestFullRHSParity:
+    @pytest.mark.parametrize("order", ORDERS)
+    def test_tgv_rhs_matches_reference(self, order):
+        """Full TGV right-hand side: fast (split and fully fused) vs the
+        reference oracle, within 1e-10 relative."""
+        mesh = periodic_box_mesh(2, order)
+        gas = DEFAULT_TGV.gas()
+        stacked = taylor_green_initial(mesh.coords, DEFAULT_TGV).as_stacked()
+        oracle = NavierStokesOperator(mesh, gas, backend="reference")
+        expected = oracle.residual(stacked)
+        for kwargs in (
+            {"backend": "fast"},
+            {"backend": "fast", "fusion": "gather"},
+            {"backend": "fast", "fusion": "full"},
+        ):
+            op = NavierStokesOperator(mesh, gas, **kwargs)
+            got = op.residual(stacked)
+            assert rel_err(expected, got) <= RTOL, kwargs
+
+    def test_fused_full_matches_split_over_steps(self):
+        """Time integration with the fused fast operator tracks the
+        reference run (error stays at rounding level over several steps)."""
+        from repro.solver.simulation import Simulation
+
+        mesh = periodic_box_mesh(2, 3)
+        ref_sim = Simulation(mesh, DEFAULT_TGV, backend="reference")
+        fast_sim = Simulation(mesh, DEFAULT_TGV, backend="fast", fusion="full")
+        ref_res = ref_sim.run(3)
+        fast_res = fast_sim.run(3)
+        a = ref_res.final_state.as_stacked()
+        b = fast_res.final_state.as_stacked()
+        assert rel_err(a, b) <= 1e-9
+        assert fast_sim.backend_name == "fast"
+
+
+class TestDtypePreservation:
+    def test_scatter_add_preserves_float32(self, setup, backends):
+        """Regression: scatter_add used to silently upcast float32 inputs
+        to float64. It must accumulate in float64 but hand back the input
+        dtype."""
+        mesh, ref, _affine, _curved, rng = setup
+        values32 = rng.standard_normal(
+            (mesh.num_elements, ref.num_nodes)
+        ).astype(np.float32)
+        for backend in backends:
+            out = backend.scatter_add(values32, mesh.connectivity, mesh.num_nodes)
+            assert out.dtype == np.float32
+            many = backend.scatter_add_many(
+                np.stack([values32, values32]), mesh.connectivity, mesh.num_nodes
+            )
+            assert many.dtype == np.float32
+
+    def test_scatter_add_float64_accumulation(self, backends):
+        """The float32 result equals the float64 accumulation rounded once
+        (not a float32 running sum)."""
+        conn = np.zeros((1, 4), dtype=np.int64)  # all four values hit node 0
+        values = np.array([[1.0, 2**-24, 2**-24, 2**-24]], dtype=np.float32)
+        expected = np.float32(np.float64(1.0) + 3 * np.float64(2**-24))
+        for backend in backends:
+            out = backend.scatter_add(values, conn, 1)
+            assert out.dtype == np.float32
+            assert out[0] == expected

@@ -71,6 +71,29 @@ class TestGatherScatter:
                 mesh.num_nodes,
             )
 
+    def test_scatter_preserves_float32_dtype(self, assembled):
+        """Regression: scatter_add silently upcast float32 to float64 via
+        np.ascontiguousarray(..., dtype=np.float64). The accumulation
+        stays in float64 but the result must come back in the input
+        dtype."""
+        mesh, _geom, _ref = assembled
+        values = (
+            np.random.default_rng(10)
+            .normal(size=(mesh.num_elements, 27))
+            .astype(np.float32)
+        )
+        out = scatter_add(values, mesh.connectivity, mesh.num_nodes)
+        assert out.dtype == np.float32
+        exact = scatter_add(
+            values.astype(np.float64), mesh.connectivity, mesh.num_nodes
+        )
+        assert exact.dtype == np.float64
+        assert np.array_equal(out, exact.astype(np.float32))
+        many = scatter_add_many(
+            values[None], mesh.connectivity, mesh.num_nodes
+        )
+        assert many.dtype == np.float32
+
     def test_dss_makes_copies_agree(self, assembled):
         mesh, _geom, _ref = assembled
         values = np.random.default_rng(9).normal(size=(mesh.num_elements, 27))
