@@ -13,7 +13,9 @@ Run with ``python -m pytest benchmarks/test_backend_kernels.py -v -s``.
 
 from __future__ import annotations
 
+import json
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -31,6 +33,10 @@ ELEMENTS_PER_DIRECTION = 3
 
 #: Required aggregate (hot-path-weighted) speedup of fast over reference.
 MIN_AGGREGATE_SPEEDUP = 1.3
+
+#: Perf-trajectory artifact consumed by CI (uploaded per run so the
+#: kernel speedups can be tracked across commits).
+ARTIFACT_PATH = Path(__file__).resolve().parent / "BENCH_pr2.json"
 
 
 def _best_of(fn, repeat: int = 9) -> float:
@@ -122,7 +128,30 @@ def test_aggregate_speedup_at_least_1_3x(measurements):
     total_fast = sum(measurements[k][1] for k in hot_path)
     aggregate = total_ref / total_fast
     print(f"\naggregate hot-path speedup: {aggregate:.2f}x")
+    _write_artifact(measurements, aggregate)
     assert aggregate >= MIN_AGGREGATE_SPEEDUP
+
+
+def _write_artifact(
+    measurements: dict[str, tuple[float, float]], aggregate: float
+) -> None:
+    """Emit the BENCH_pr2.json perf-trajectory artifact for CI upload."""
+    payload = {
+        "benchmark": "backend_kernels",
+        "workload": f"TGV p={ORDER}, {ELEMENTS_PER_DIRECTION}^3 elements",
+        "min_aggregate_speedup": MIN_AGGREGATE_SPEEDUP,
+        "aggregate_hot_path_speedup": round(aggregate, 4),
+        "kernels": {
+            name: {
+                "reference_seconds": t_ref,
+                "fast_seconds": t_fast,
+                "speedup": round(t_ref / t_fast, 4),
+            }
+            for name, (t_ref, t_fast) in measurements.items()
+        },
+    }
+    ARTIFACT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"perf artifact written to {ARTIFACT_PATH}")
 
 
 def test_batched_forms_beat_looped_singles(measurements):

@@ -49,7 +49,9 @@ def test_bench_gather_scatter(benchmark, setup):
 
     def round_trip():
         gathered = operator._gather_state(stacked)
-        return operator._scatter_residuals(gathered)
+        return operator.backend.scatter_add_many(
+            gathered, mesh.connectivity, mesh.num_nodes
+        )
 
     out = benchmark(round_trip)
     assert out.shape == stacked.shape

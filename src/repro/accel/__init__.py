@@ -30,11 +30,13 @@ from .designs import (
 )
 from .optimizer import IIOptimizer, OptimizationStep
 from .cosim import (
+    CosimResult,
     DesignTiming,
     rk_step_seconds,
     rk_method_seconds,
     end_to_end_step_seconds,
     cosimulate_small_mesh,
+    streamed_residual,
 )
 
 __all__ = [
@@ -52,9 +54,11 @@ __all__ = [
     "vitis_baseline_design",
     "IIOptimizer",
     "OptimizationStep",
+    "CosimResult",
     "DesignTiming",
     "rk_step_seconds",
     "rk_method_seconds",
     "end_to_end_step_seconds",
     "cosimulate_small_mesh",
+    "streamed_residual",
 ]

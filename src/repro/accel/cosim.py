@@ -5,23 +5,37 @@ Two granularities:
 - **analytic** (:func:`rk_step_seconds` and friends): steady-state
   extrapolation used at paper-scale mesh sizes — verified against the
   cycle-level dataflow simulation by the test suite;
-- **cycle-level** (:func:`cosimulate_small_mesh`): builds the element
-  pipeline as a :class:`~repro.dataflow.graph.DataflowGraph`, runs the
-  cycle simulator for every element of a real (small) mesh, and runs the
-  functional numpy solver on the same mesh — demonstrating that the
-  accelerator computes the *same physics* the timing model prices.
+- **cycle-level** (:func:`cosimulate_small_mesh`): lowers the operator
+  pipeline IR (:func:`repro.pipeline.element_pipeline`) to a
+  :class:`~repro.dataflow.graph.DataflowGraph` whose tasks carry
+  payload actions, then streams every element of a real (small) mesh
+  through it — the run prices the pipeline *and* computes it. The
+  streamed residual must reproduce
+  :meth:`~repro.solver.navier_stokes.NavierStokesOperator.residual` to
+  rounding error while the cycle count still matches the analytic
+  ``fill + II * (E - 1)`` model: the accelerator computes the *same
+  physics* the timing model prices, by construction from one IR.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..config import seconds_from_cycles
 from ..dataflow.graph import DataflowGraph
 from ..dataflow.simulator import DataflowSimulator, SimulationTrace
-from ..dataflow.task import Task
 from ..errors import ExperimentError
-from ..mesh.hexmesh import HexMesh
+from ..mesh.hexmesh import HexMesh, elements_for_node_count
+from ..physics.state import NUM_CONSERVED, FlowState
+from ..pipeline import (
+    DEFAULT_TASK_NAMES,
+    OperatorPipeline,
+    PipelineContext,
+    element_pipeline,
+    streaming_actions,
+)
 from ..timeint.butcher import RK4, ButcherTableau
 from .designs import AcceleratorDesign
 
@@ -46,11 +60,6 @@ class DesignTiming:
         )
 
 
-def _elements_for_nodes(num_nodes: int, polynomial_order: int = 2) -> int:
-    """Periodic TGV mesh: each element contributes p**3 unique nodes."""
-    return max(1, round(num_nodes / polynomial_order**3))
-
-
 def design_timing(
     design: AcceleratorDesign,
     num_nodes: int,
@@ -61,7 +70,9 @@ def design_timing(
     if num_nodes < 1:
         raise ExperimentError("num_nodes must be >= 1")
     if num_elements is None:
-        num_elements = _elements_for_nodes(num_nodes, design.rkl.polynomial_order)
+        num_elements = elements_for_node_count(
+            num_nodes, design.rkl.polynomial_order
+        )
     hz = design.clock_mhz * 1e6
     rkl_cycles = design.rkl_stage_cycles(num_nodes, num_elements)
     rku_cycles = design.rku_step_cycles(num_nodes)
@@ -123,36 +134,59 @@ def end_to_end_step_seconds(
 
 
 def build_rkl_dataflow_graph(
-    design: AcceleratorDesign, num_nodes: int
+    design: AcceleratorDesign,
+    num_nodes: int,
+    pipeline: OperatorPipeline | None = None,
+    actions=None,
 ) -> DataflowGraph:
     """The element pipeline as an explicit dataflow graph.
 
-    Task latencies come from the same models as the analytic path, so a
-    cycle-level run must agree with ``fill + II * (E - 1)`` — asserted by
-    the integration tests.
+    The graph structure is *lowered from the operator pipeline IR* (the
+    fused pipeline — the hardware always runs the merged
+    diffusion+convection COMPUTE module), with per-stage latencies from
+    :meth:`AcceleratorDesign.pipeline_stage_cycles`. Group sums equal
+    the analytic role latencies, so a cycle-level run must agree with
+    ``fill + II * (E - 1)`` — asserted by the integration tests.
+    ``actions`` optionally attaches per-role payload execution (see
+    :func:`repro.pipeline.streaming_actions`) to co-simulate
+    functionally.
     """
-    cycles = design.rkl_element_cycles(num_nodes)
-    graph = DataflowGraph(name=f"rkl-{design.options.name}")
-    graph.chain(
-        [
-            Task(
-                "load_element",
-                max(1, round(cycles["load"])),
-                kind="load",
-            ),
-            Task(
-                "compute_diffusion_convection",
-                max(1, round(cycles["compute"])),
-                kind="compute",
-            ),
-            Task(
-                "store_element_contribution",
-                max(1, round(cycles["store"])),
-                kind="store",
-            ),
-        ]
+    if pipeline is None:
+        pipeline = element_pipeline()
+    stage_cycles = design.pipeline_stage_cycles(pipeline, num_nodes)
+    return pipeline.to_task_graph(
+        stage_cycles,
+        task_names=DEFAULT_TASK_NAMES,
+        actions=actions,
+        name=f"rkl-{design.options.name}",
     )
-    return graph
+
+
+def streamed_residual(
+    design: AcceleratorDesign,
+    operator,
+    stacked: np.ndarray,
+    pipeline: OperatorPipeline | None = None,
+) -> tuple[np.ndarray, SimulationTrace]:
+    """One right-hand side evaluated *through* the cycle simulator.
+
+    Streams every mesh element through the lowered element pipeline —
+    each simulated LOAD gathers a real element, COMPUTE runs the fused
+    flux/divergence kernels on it, STORE assembles its contribution —
+    then applies the operator's mass inversion and wall conditions.
+    Returns the residual and the simulation trace (one run yields both
+    the functional result and the cycle count).
+    """
+    if pipeline is None:
+        pipeline = element_pipeline()
+    ctx = PipelineContext.from_operator(operator)
+    accumulator = np.zeros((NUM_CONSERVED, operator.mesh.num_nodes))
+    actions = streaming_actions(pipeline, ctx, stacked, accumulator)
+    graph = build_rkl_dataflow_graph(
+        design, operator.mesh.num_nodes, pipeline=pipeline, actions=actions
+    )
+    trace = DataflowSimulator(graph).run(operator.mesh.num_elements)
+    return operator.finalize_residual(accumulator), trace
 
 
 @dataclass
@@ -164,6 +198,9 @@ class CosimResult:
     simulated_cycles: int
     kinetic_energy: float
     mass_drift: float
+    #: Max-norm relative error of the streamed residual against the
+    #: functional operator's, over all five conserved fields.
+    residual_max_rel_err: float
 
     @property
     def cycle_agreement(self) -> float:
@@ -178,23 +215,38 @@ def cosimulate_small_mesh(
     mesh: HexMesh,
     num_steps: int = 2,
     backend: str | None = None,
+    case=None,
+    initial_state: FlowState | None = None,
 ) -> CosimResult:
-    """Run functional solve + cycle-level pipeline on one small mesh.
+    """Run functional solve + payload-carrying cycle simulation on one mesh.
 
     The functional result (from :class:`repro.solver.Simulation`) proves
     the workload is real physics; the cycle-level trace validates the
-    analytic extrapolation the experiments rely on. ``backend`` selects
-    the compute backend of the functional solver (``None`` defers to the
-    ``REPRO_BACKEND`` environment variable, then ``"reference"``).
+    analytic extrapolation the experiments rely on; and the streamed
+    residual (:func:`streamed_residual`, computed on the initial state)
+    proves both executions agree to rounding error. ``backend`` selects
+    the compute backend for both paths (``None`` defers to the
+    ``REPRO_BACKEND`` environment variable, then ``"reference"``);
+    ``case`` and ``initial_state`` select the physics (defaults: the TGV
+    case on its standard initial condition), so wall-bounded workloads
+    such as the channel shear flow co-simulate too.
     """
     from ..physics.taylor_green import DEFAULT_TGV
     from ..solver.simulation import Simulation
 
-    sim = Simulation(mesh, DEFAULT_TGV, backend=backend)
+    if case is None:
+        case = DEFAULT_TGV
+    sim = Simulation(mesh, case, backend=backend, initial_state=initial_state)
+    initial_stacked = sim.state.as_stacked()
+    expected = sim.operator.residual(initial_stacked)
+    streamed, trace = streamed_residual(design, sim.operator, initial_stacked)
+    scale = float(np.abs(expected).max())
+    residual_err = float(np.abs(streamed - expected).max()) / (
+        scale if scale > 0.0 else 1.0
+    )
+
     result = sim.run(num_steps)
 
-    graph = build_rkl_dataflow_graph(design, mesh.num_nodes)
-    trace = DataflowSimulator(graph).run(mesh.num_elements)
     if design.options.element_dataflow:
         analytic = design.rkl_fill_cycles(mesh.num_nodes) + (
             design.rkl_element_ii(mesh.num_nodes) * (mesh.num_elements - 1)
@@ -207,4 +259,5 @@ def cosimulate_small_mesh(
         simulated_cycles=trace.total_cycles,
         kinetic_energy=result.records[-1].kinetic_energy,
         mass_drift=result.mass_drift(),
+        residual_max_rel_err=residual_err,
     )

@@ -259,6 +259,49 @@ class AcceleratorDesign:
             "store": self.store_task_cycles(num_nodes),
         }
 
+    def pipeline_stage_cycles(
+        self, pipeline, num_nodes: int
+    ) -> dict[str, float]:
+        """Per-stage cycles for an operator-pipeline IR instance.
+
+        Each role group shares its element task's analytic latency
+        (:meth:`rkl_element_cycles`): LOAD and STORE stages split theirs
+        evenly (there is one of each in practice), while COMPUTE stages
+        split the merged COMPUTE module's cycles in proportion to their
+        per-element flop counts (:mod:`repro.pipeline.opcounts`) — so
+        timing, op-accounting and functional execution all derive from
+        the same stage graph. Group sums reproduce the role totals, which
+        keeps the lowered dataflow graph's cycle counts on the analytic
+        ``fill + II * (E - 1)`` model.
+        """
+        from ..pipeline.opcounts import pipeline_op_counts
+
+        role_cycles = self.rkl_element_cycles(num_nodes)
+        flops = {
+            name: count.flops
+            for name, count in pipeline_op_counts(
+                pipeline, self.rkl.polynomial_order
+            ).items()
+        }
+        out: dict[str, float] = {}
+        for role, stages in pipeline.role_groups():
+            total = role_cycles[role]
+            if len(stages) == 1:
+                out[stages[0].name] = total
+                continue
+            if role == "compute":
+                weights = [flops[s.name] for s in stages]
+            else:
+                weights = [1.0] * len(stages)
+            weight_sum = sum(weights)
+            assigned = 0.0
+            for stage, weight in zip(stages[:-1], weights[:-1]):
+                share = total * weight / weight_sum
+                out[stage.name] = share
+                assigned += share
+            out[stages[-1].name] = total - assigned
+        return out
+
     def rkl_element_ii(self, num_nodes: int) -> float:
         """Steady-state element II (TLP) or full serial latency (baseline)."""
         cycles = self.rkl_element_cycles(num_nodes)

@@ -23,6 +23,12 @@ base class provides loop-over-fields defaults so a minimal backend only
 implements the five primitives; optimized backends override the batched
 forms with fused contractions (see :mod:`repro.backend.fast`).
 
+How the kernels are *composed* is no longer the backend's concern: the
+operator pipeline IR (:mod:`repro.pipeline`) declares the stage graph
+that names these kernels, and the same graph is executed functionally by
+the solver and cycle-accurately by the co-simulator — so a new backend
+registered here is automatically co-simulable.
+
 Array conventions match :mod:`repro.fem.operators`: element fields are
 ``(E, Q)``, physical gradients ``(E, Q, 3)``, fluxes ``(E, Q, 3)``.
 """

@@ -13,12 +13,20 @@ Sources (tasks without input buffers) generate one token per iteration
 until the configured iteration count. The simulator records complete
 stall accounting and detects deadlock (no progress while work remains),
 which is how the validity rules of Section III-B manifest dynamically.
+
+When any task carries an :attr:`~repro.dataflow.task.Task.action`, the
+simulation also *executes*: payloads ride the tokens (consumed at task
+start, committed at task finish, FIFO per buffer), so one run produces
+both the cycle count and the computed data. This is what lets the
+accelerator co-simulation stream real mesh elements through the same
+graph its timing model prices.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 
 from ..errors import DataflowError, DeadlockError
@@ -34,6 +42,8 @@ class SimulationTrace:
     iterations: int
     total_cycles: int
     task_stats: dict[str, TaskStats] = field(default_factory=dict)
+    #: Per sink task with an action: the values it produced, in order.
+    sink_results: dict[str, list] = field(default_factory=dict)
 
     def stats(self, task_name: str) -> TaskStats:
         """Stats of one task."""
@@ -101,6 +111,18 @@ class DataflowSimulator:
         inputs = {name: graph.inputs_of(name) for name in graph.tasks}
         outputs = {name: graph.outputs_of(name) for name in graph.tasks}
 
+        # Payload execution: only tracked when some task computes.
+        executing = any(t.action is not None for t in graph.tasks.values())
+        payloads: dict[str, deque] | None = (
+            {name: deque() for name in graph.buffers} if executing else None
+        )
+        in_flight: dict[str, object] = {}
+        sink_results: dict[str, list] = {
+            name: []
+            for name, task in graph.tasks.items()
+            if executing and task.action is not None and not outputs[name]
+        }
+
         # Completion-event heap: (finish_time, seq, task_name).
         events: list[tuple[int, int, str]] = []
         seq = itertools.count()
@@ -133,6 +155,18 @@ class DataflowSimulator:
                         occupancy[buf.name] -= 1
                     for buf in outputs[name]:
                         occupancy[buf.name] += 1  # reserve the slot
+                    if payloads is not None:
+                        task = graph.tasks[name]
+                        args = tuple(
+                            payloads[buf.name].popleft()
+                            for buf in inputs[name]
+                        )
+                        if task.action is not None:
+                            in_flight[name] = task.action(iteration, args)
+                        elif len(args) == 1:
+                            in_flight[name] = args[0]
+                        else:
+                            in_flight[name] = args if args else None
                     latency = graph.tasks[name].latency_at(iteration)
                     finish = now + latency
                     heapq.heappush(events, (finish, next(seq), name))
@@ -159,6 +193,24 @@ class DataflowSimulator:
                         key[name] = now
             return progressed
 
+        def retire(task_name: str) -> None:
+            """Commit a finished iteration: tokens, payloads, stats."""
+            busy.discard(task_name)
+            finished[task_name] += 1
+            value = (
+                in_flight.pop(task_name, None) if payloads is not None else None
+            )
+            for buf in outputs[task_name]:
+                committed[buf.name] += 1  # commit the reserved token
+                if payloads is not None:
+                    payloads[buf.name].append(value)
+            if task_name in sink_results:
+                sink_results[task_name].append(value)
+            st = stats[task_name]
+            st.iterations_completed += 1
+            st.last_finish = now
+            st.finish_times.append(now)
+
         total_needed = iterations * len(graph.tasks)
         try_start_all()
         while sum(finished.values()) < total_needed:
@@ -177,26 +229,12 @@ class DataflowSimulator:
                 raise DataflowError(
                     f"graph {graph.name!r}: exceeded max_cycles={max_cycles}"
                 )
-            busy.discard(name)
-            finished[name] += 1
-            for buf in outputs[name]:
-                committed[buf.name] += 1  # commit the reserved token
-            st = stats[name]
-            st.iterations_completed += 1
-            st.last_finish = now
-            st.finish_times.append(now)
+            retire(name)
             # Batch-process any events that complete at the same cycle so
             # start decisions see a consistent buffer state.
             while events and events[0][0] == now:
                 _, _, other = heapq.heappop(events)
-                busy.discard(other)
-                finished[other] += 1
-                for buf in outputs[other]:
-                    committed[buf.name] += 1
-                st2 = stats[other]
-                st2.iterations_completed += 1
-                st2.last_finish = now
-                st2.finish_times.append(now)
+                retire(other)
             try_start_all()
 
         return SimulationTrace(
@@ -204,4 +242,5 @@ class DataflowSimulator:
             iterations=iterations,
             total_cycles=now,
             task_stats=stats,
+            sink_results=sink_results,
         )

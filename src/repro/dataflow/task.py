@@ -4,6 +4,11 @@ A task consumes one token from every input buffer, occupies itself for
 its per-iteration latency, then deposits one token into every output
 buffer. Latency may be constant or iteration-dependent (data-dependent
 tasks such as a LOAD stage whose burst efficiency varies).
+
+Tokens may carry *payloads*: a task with an :attr:`Task.action` computes
+a value from its consumed payloads each iteration and commits it with
+its output tokens, so the same graph the simulator prices can execute
+real data (functional co-simulation).
 """
 
 from __future__ import annotations
@@ -30,11 +35,21 @@ class Task:
     kind:
         Free-form role label (``load``, ``compute``, ``store``) used by
         reports and by the memory-contention model.
+    action:
+        Optional payload function ``action(iteration, inputs) -> value``
+        where ``inputs`` is the tuple of payloads consumed from the
+        input buffers this iteration (empty for sources). The returned
+        value is committed with the task's output tokens when the
+        iteration finishes; sink values are collected in
+        :attr:`~repro.dataflow.simulator.SimulationTrace.sink_results`.
+        Tasks without an action pass their single input payload through
+        unchanged (``None`` for sources).
     """
 
     name: str
     latency: int | LatencyModel
     kind: str = "compute"
+    action: Callable[[int, tuple], object] | None = None
 
     def __post_init__(self) -> None:
         if not self.name:

@@ -40,6 +40,11 @@ class SolverError(ReproError):
     """The Navier-Stokes solver failed or diverged."""
 
 
+class PipelineError(ReproError):
+    """An operator pipeline (stage graph IR) is malformed or cannot be
+    executed/rewritten as requested."""
+
+
 class DataflowError(ReproError):
     """A dataflow graph is malformed or its simulation failed."""
 

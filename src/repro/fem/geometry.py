@@ -141,6 +141,23 @@ class ElementGeometry:
             self._quad_scale = w * np.abs(self.det_jacobian)
         return self._quad_scale
 
+    def element_view(self, index: int) -> "ElementGeometry":
+        """Metric terms of element ``index`` alone, shape ``(1, ...)``.
+
+        Arrays are views, so a per-element slice is cheap; the streaming
+        co-simulation uses this to run the element pipeline one element
+        per pipeline iteration.
+        """
+        sl = slice(index, index + 1)
+        cached = self._quad_scale
+        return ElementGeometry(
+            jacobian=self.jacobian[sl],
+            inverse_jacobian=self.inverse_jacobian[sl],
+            det_jacobian=self.det_jacobian[sl],
+            is_affine=self.is_affine,
+            _quad_scale=None if cached is None else cached[sl],
+        )
+
     def memory_footprint_values(self) -> int:
         """Number of scalar metric values held (for workload accounting)."""
         return int(

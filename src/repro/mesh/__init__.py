@@ -13,7 +13,13 @@ The paper's solver operates on FEM meshes of hexahedral spectral elements
 - :mod:`repro.mesh.io` — lossless save/load of meshes.
 """
 
-from .hexmesh import HexMesh, periodic_box_mesh, box_mesh, channel_mesh
+from .hexmesh import (
+    HexMesh,
+    periodic_box_mesh,
+    box_mesh,
+    channel_mesh,
+    elements_for_node_count,
+)
 from .node_ordering import local_node_index, local_node_triplet, corner_local_indices
 from .connectivity import (
     build_node_to_elements,
@@ -35,6 +41,7 @@ __all__ = [
     "periodic_box_mesh",
     "box_mesh",
     "channel_mesh",
+    "elements_for_node_count",
     "local_node_index",
     "local_node_triplet",
     "corner_local_indices",

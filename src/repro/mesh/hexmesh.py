@@ -330,6 +330,20 @@ def channel_mesh(
     )
 
 
+def elements_for_node_count(num_nodes: int, polynomial_order: int = 2) -> int:
+    """Element count of a fully periodic hex mesh with ``num_nodes`` nodes.
+
+    On a periodic box of order ``p`` every element contributes exactly
+    ``p**3`` unique nodes (the seam nodes wrap), so ``E = N / p**3``
+    (rounded, floored at one element). Shared by the workload
+    characterization and the accelerator timing models so both price the
+    same mesh arithmetic.
+    """
+    if num_nodes < 1:
+        raise MeshError("num_nodes must be >= 1")
+    return max(1, round(num_nodes / polynomial_order**3))
+
+
 def mesh_for_node_count(
     target_nodes: int, polynomial_order: int = 2
 ) -> HexMesh:

@@ -1,0 +1,153 @@
+"""Per-node operation-count building blocks (a dependency leaf).
+
+:class:`OpCount` and the per-node arithmetic models of the FEM hot path
+live here so that both consumers — the solver-level workload
+characterization (:mod:`repro.solver.workload`) and the pipeline-IR
+per-stage derivation (:mod:`repro.pipeline.opcounts`) — can import them
+without coupling the two layers to each other.
+
+Counting conventions
+--------------------
+- ``Q = (p + 1)**3`` nodes per element; ``n1 = p + 1``.
+- A "value" is one scalar of the working precision (the CPU model prices
+  fp64, the accelerator fp32).
+- Gather/scatter DRAM traffic counts the element-copy volume (each
+  element reads its own copy of shared nodes), matching both the paper's
+  C++ (independent diffusion/convection passes) and the accelerator's
+  LOAD/STORE streams.
+
+The per-node operation counts follow directly from the arithmetic in
+:mod:`repro.fem.operators` and :mod:`repro.physics`; each constant is
+annotated with its origin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Conserved fields (rho, 3 momentum, total energy).
+NUM_FIELDS = 5
+#: Fields whose gradient the diffusion pass needs (u, v, w, T).
+NUM_GRADIENT_FIELDS = 4
+#: Fields with a nonzero viscous flux (3 momentum + energy).
+NUM_VISCOUS_FIELDS = 4
+#: Per-element metric values streamed alongside the state for an affine
+#: element: 9 inverse-Jacobian entries plus the per-node quadrature scale.
+METRIC_VALUES_PER_ELEMENT_CONST = 9
+
+
+@dataclass(frozen=True)
+class OpCount:
+    """Operation and traffic counts of one code region."""
+
+    adds: float = 0.0
+    muls: float = 0.0
+    divs: float = 0.0
+    specials: float = 0.0  # sqrt and friends
+    dram_reads: float = 0.0  # values
+    dram_writes: float = 0.0  # values
+
+    @property
+    def flops(self) -> float:
+        """Total floating-point operations (all classes)."""
+        return self.adds + self.muls + self.divs + self.specials
+
+    @property
+    def dram_values(self) -> float:
+        """Total DRAM traffic in values."""
+        return self.dram_reads + self.dram_writes
+
+    def __add__(self, other: "OpCount") -> "OpCount":
+        return OpCount(
+            adds=self.adds + other.adds,
+            muls=self.muls + other.muls,
+            divs=self.divs + other.divs,
+            specials=self.specials + other.specials,
+            dram_reads=self.dram_reads + other.dram_reads,
+            dram_writes=self.dram_writes + other.dram_writes,
+        )
+
+    def scaled(self, factor: float) -> "OpCount":
+        """All counts multiplied by ``factor``."""
+        return OpCount(
+            adds=self.adds * factor,
+            muls=self.muls * factor,
+            divs=self.divs * factor,
+            specials=self.specials * factor,
+            dram_reads=self.dram_reads * factor,
+            dram_writes=self.dram_writes * factor,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Per-node building blocks (functions of the 1D node count n1)
+# ---------------------------------------------------------------------------
+
+
+def primitives_per_node() -> OpCount:
+    """Conservative -> primitive conversion at one node.
+
+    ``u = m / rho`` (3 div), kinetic ``m.u/2`` (3 mul + 2 add + 1 mul),
+    internal energy (1 sub), pressure (1 mul), temperature (1 div, 1 mul).
+    """
+    return OpCount(adds=3, muls=6, divs=4)
+
+
+def gradient_per_node_per_field(n1: int) -> OpCount:
+    """One field's physical gradient at one node.
+
+    Reference gradient: 3 directions x (n1 mul + (n1 - 1) add); metric
+    application (affine): 9 mul + 6 add.
+    """
+    return OpCount(adds=3 * (n1 - 1) + 6, muls=3 * n1 + 9)
+
+
+def tau_per_node() -> OpCount:
+    """Viscous stress tensor at one node (see ``physics.viscous``).
+
+    Trace (2 add), symmetrization (9 add), scale by mu (9 mul), diagonal
+    Stokes correction (1 mul + 3 mul + 3 add).
+    """
+    return OpCount(adds=14, muls=13)
+
+
+def viscous_flux_per_node() -> OpCount:
+    """``tau . u`` (9 mul + 6 add) plus ``kappa grad T`` (3 mul + 3 add)."""
+    return OpCount(adds=9, muls=12)
+
+
+def euler_flux_per_node() -> OpCount:
+    """Euler fluxes: ``rho u`` (3 mul), ``rho u_i u_j + p I`` (9 mul +
+    3 add), ``(E + p) u`` (1 add + 3 mul)."""
+    return OpCount(adds=4, muls=15)
+
+
+def weak_divergence_per_node_per_field(n1: int) -> OpCount:
+    """One field's weak divergence at one node.
+
+    Contravariant transform (9 mul + 6 add) + quadrature scaling (3 mul);
+    transposed derivative in 3 directions (3 n1 mul + 3 (n1 - 1) add) and
+    2 adds combining the direction partials.
+    """
+    return OpCount(adds=6 + 3 * (n1 - 1) + 2, muls=12 + 3 * n1)
+
+
+# ---------------------------------------------------------------------------
+# Per-element LOAD / STORE streams (the paper's Fig. 1 endpoints)
+# ---------------------------------------------------------------------------
+
+
+def load_element(q: int, num_fields: int = NUM_FIELDS) -> OpCount:
+    """LOAD-element: stream state fields + metric terms from DRAM."""
+    return OpCount(
+        dram_reads=num_fields * q + q + METRIC_VALUES_PER_ELEMENT_CONST
+    )
+
+
+def store_element(q: int, num_fields: int) -> OpCount:
+    """STORE-element-contribution: accumulating scatter (read-modify-write)."""
+    return OpCount(
+        adds=num_fields * q,
+        dram_reads=num_fields * q,
+        dram_writes=num_fields * q,
+    )

@@ -1,0 +1,211 @@
+"""Executing an operator pipeline.
+
+Three execution styles over one IR:
+
+- :func:`run_pipeline` — whole-mesh functional execution on batched numpy
+  arrays; this is what :meth:`NavierStokesOperator.residual` runs, with
+  each stage attributed to its profiler phase;
+- :func:`element_residuals` — compute-only execution on an already
+  gathered element state (the solver's per-pass diagnostics helpers);
+- :func:`streaming_actions` — per-element payload-carrying actions for
+  the cycle-accurate dataflow simulator: the co-simulator prices *and
+  computes* the same stages, one element per pipeline iteration.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import PipelineError
+from .ir import OperatorPipeline, Stage
+from .kernels import PipelineContext, pad_to_conserved, pipeline_kernel
+
+
+def _run_stage(
+    ctx: PipelineContext, stage: Stage, env: dict[str, np.ndarray]
+) -> None:
+    """Execute one stage against ``env``, binding its outputs."""
+    try:
+        args = [env[name] for name in stage.inputs]
+    except KeyError as exc:
+        raise PipelineError(
+            f"stage {stage.name!r}: missing input payload {exc.args[0]!r}"
+        ) from None
+    outs = pipeline_kernel(stage.kernel)(ctx, stage, *args)
+    if len(outs) != len(stage.outputs):
+        raise PipelineError(
+            f"stage {stage.name!r}: kernel {stage.kernel!r} returned "
+            f"{len(outs)} payload(s), declared {len(stage.outputs)}"
+        )
+    for name, value in zip(stage.outputs, outs):
+        env[name] = value
+
+
+def run_pipeline(
+    pipeline: OperatorPipeline,
+    ctx: PipelineContext,
+    inputs: Mapping[str, np.ndarray],
+    profiler=None,
+) -> dict[str, np.ndarray]:
+    """Execute the whole pipeline functionally; returns its output payloads.
+
+    ``inputs`` must bind every external payload (for the NS pipelines:
+    ``{"state": (5, N)}``). With a profiler, each stage runs inside its
+    declared phase so the paper's Fig. 2 attribution emerges from the IR.
+    """
+    missing = [n for n in pipeline.external_inputs() if n not in inputs]
+    if missing:
+        raise PipelineError(
+            f"pipeline {pipeline.name!r}: unbound external payload(s) "
+            f"{missing}"
+        )
+    env: dict[str, np.ndarray] = dict(inputs)
+    # Reference counts so intermediates are released as soon as their
+    # last consumer has run — a multi-pass pipeline must not hold both
+    # branches' temporaries alive at once.
+    pending_reads = {
+        name: len(pipeline.consumers_of(name))
+        for stage in pipeline.stages
+        for name in stage.outputs
+    }
+    for stage in pipeline.topological_order():
+        if profiler is None:
+            _run_stage(ctx, stage, env)
+        else:
+            with profiler.phase(stage.phase):
+                _run_stage(ctx, stage, env)
+        for name in stage.inputs:
+            if name in pending_reads:
+                pending_reads[name] -= 1
+                if pending_reads[name] == 0:
+                    del env[name]
+    return {name: env[name] for name in pipeline.output_payloads()}
+
+
+def assembled_total(outputs: Mapping[str, np.ndarray]) -> np.ndarray:
+    """Sum of a pipeline's assembled ``(5, N)`` output payloads."""
+    total: np.ndarray | None = None
+    for value in outputs.values():
+        total = value if total is None else total + value
+    if total is None:
+        raise PipelineError("pipeline produced no output payloads")
+    return total
+
+
+def element_residuals(
+    pipeline: OperatorPipeline,
+    ctx: PipelineContext,
+    state_elem: np.ndarray,
+    phases: Sequence[str] | None = None,
+) -> np.ndarray:
+    """Per-element residuals ``(5, E, Q)`` of the pipeline's compute stages.
+
+    Load stages are short-circuited with the provided gathered state and
+    store stages are skipped; each store input is padded to the full
+    conserved set at its ``field_start``. ``phases`` restricts execution
+    to one branch (e.g. ``("rk.convection",)``) of a multi-pass pipeline.
+    """
+    env: dict[str, np.ndarray] = {}
+    total: np.ndarray | None = None
+    for stage in pipeline.topological_order():
+        if stage.role == "load":
+            env[stage.outputs[0]] = state_elem
+            continue
+        if phases is not None and stage.phase not in phases:
+            continue
+        if stage.role == "store":
+            padded = pad_to_conserved(
+                env[stage.inputs[0]], int(stage.param("field_start", 0))
+            )
+            total = padded if total is None else total + padded
+            continue
+        _run_stage(ctx, stage, env)
+    if total is None:
+        raise PipelineError(
+            f"pipeline {pipeline.name!r}: no store stage matched "
+            f"phases={phases}"
+        )
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Streaming (one element per pipeline iteration) for co-simulation
+# ---------------------------------------------------------------------------
+
+Action = Callable[[int, tuple], object]
+
+
+def streaming_actions(
+    pipeline: OperatorPipeline,
+    ctx: PipelineContext,
+    state: np.ndarray,
+    accumulator: np.ndarray,
+) -> dict[str, Action]:
+    """Payload-carrying task actions for the element dataflow graph.
+
+    Returns one action per role group (keyed ``"load"`` / ``"compute"``
+    / ``"store"``) for :meth:`OperatorPipeline.to_task_graph`. Each
+    action executes its group's stages on element ``iteration`` only,
+    passing the payloads that cross group boundaries through the
+    simulated inter-task buffers as dicts; the store group assembles
+    every element contribution into ``accumulator`` (shape ``(5, N)``).
+    """
+    state = np.asarray(state, dtype=np.float64)
+    groups = pipeline.role_groups()
+    group_index = {
+        stage.name: idx
+        for idx, (_, stages) in enumerate(groups)
+        for stage in stages
+    }
+    externals = pipeline.external_inputs()
+    if len(externals) != 1:
+        raise PipelineError(
+            f"pipeline {pipeline.name!r}: streaming execution expects one "
+            f"external payload (the global state), found {externals}"
+        )
+    (state_payload,) = externals
+
+    def crossing_payloads(idx: int, stages: list[Stage]) -> list[str]:
+        names: list[str] = []
+        for stage in stages:
+            for out in stage.outputs:
+                consumers = pipeline.consumers_of(out)
+                if any(group_index[c.name] != idx for c in consumers):
+                    names.append(out)
+        return names
+
+    actions: dict[str, Action] = {}
+    for idx, (role, stages) in enumerate(groups):
+        exported = crossing_payloads(idx, stages)
+
+        def action(
+            iteration: int,
+            inputs: tuple,
+            stages=stages,
+            exported=exported,
+            role=role,
+        ):
+            ectx = ctx.element(iteration)
+            env: dict[str, np.ndarray] = {state_payload: state}
+            for payload in inputs:
+                env.update(payload)
+            if role == "store":
+                # The STORE kernel's read-modify-write, restricted to the
+                # element's own nodes: an element touches Q nodes, so the
+                # dense (5, N) scatter the batched kernel produces would
+                # make streaming quadratic in mesh size.
+                for stage in stages:
+                    res = env[stage.inputs[0]]  # (F, 1, Q)
+                    start = int(stage.param("field_start", 0))
+                    nodes = ectx.connectivity[0]
+                    for field in range(res.shape[0]):
+                        np.add.at(accumulator[start + field], nodes, res[field, 0])
+                return None
+            for stage in stages:
+                _run_stage(ectx, stage, env)
+            return {name: env[name] for name in exported}
+
+        actions[role] = action
+    return actions

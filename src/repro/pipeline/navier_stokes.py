@@ -1,0 +1,171 @@
+"""The Navier-Stokes operator pipeline instances.
+
+:func:`navier_stokes_pipeline` builds the paper's Fig. 1 element dataflow
+as an :class:`~repro.pipeline.ir.OperatorPipeline`. The base graph
+(``fusion="none"``) carries the two independent passes the paper
+profiles — Convection and Diffusion, each LOAD -> flux -> weak
+divergence -> STORE. The other fusion levels are *graph rewrites* of
+that base (:mod:`repro.pipeline.rewrites`):
+
+- ``"gather"`` — :func:`~repro.pipeline.rewrites.share_loads` merges the
+  two identical LOAD stages into one shared gather;
+- ``"full"`` — additionally
+  :func:`~repro.pipeline.rewrites.fuse_flux_divergence` merges the flux
+  branches into one combined-flux stage, one weak divergence, one store:
+  the accelerator's merged diffusion+convection COMPUTE module.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..errors import PipelineError
+from .ir import OperatorPipeline, PayloadSpec, Stage
+from .rewrites import fuse_flux_divergence, share_loads
+
+#: Valid fusion levels (mirrors repro.solver.navier_stokes.FUSION_MODES).
+FUSIONS = ("none", "gather", "full")
+
+
+def _base_pipeline() -> OperatorPipeline:
+    """The unfused two-pass pipeline (the paper's profiled C++ layout)."""
+    p = OperatorPipeline(name="navier-stokes[none]")
+    for spec in (
+        PayloadSpec("state", ("F", "N"), "stacked conservative state"),
+        PayloadSpec("elem_state_convection", ("F", "E", "Q")),
+        PayloadSpec("elem_state_diffusion", ("F", "E", "Q")),
+        PayloadSpec("flux_convection", ("F", "E", "Q", 3), "Euler fluxes"),
+        PayloadSpec("flux_diffusion", (4, "E", "Q", 3), "viscous fluxes"),
+        PayloadSpec("res_convection", ("F", "E", "Q")),
+        PayloadSpec("res_diffusion", (4, "E", "Q")),
+        PayloadSpec("assembled_convection", ("F", "N")),
+        PayloadSpec("assembled_diffusion", ("F", "N")),
+    ):
+        p.declare_payload(spec)
+    p.add_stage(
+        Stage(
+            "load_convection",
+            role="load",
+            kernel="gather",
+            inputs=("state",),
+            outputs=("elem_state_convection",),
+            phase="rk.convection",
+        )
+    )
+    p.add_stage(
+        Stage(
+            "convective_flux",
+            role="compute",
+            kernel="convective_flux",
+            inputs=("elem_state_convection",),
+            outputs=("flux_convection",),
+            phase="rk.convection",
+            params={"num_fields": 5},
+        )
+    )
+    p.add_stage(
+        Stage(
+            "divergence_convection",
+            role="compute",
+            kernel="weak_divergence",
+            inputs=("flux_convection",),
+            outputs=("res_convection",),
+            phase="rk.convection",
+            params={"sign": -1.0, "field_start": 0, "num_fields": 5},
+        )
+    )
+    p.add_stage(
+        Stage(
+            "store_convection",
+            role="store",
+            kernel="scatter_add",
+            inputs=("res_convection",),
+            outputs=("assembled_convection",),
+            phase="rk.convection",
+            params={"field_start": 0, "num_fields": 5},
+        )
+    )
+    p.add_stage(
+        Stage(
+            "load_diffusion",
+            role="load",
+            kernel="gather",
+            inputs=("state",),
+            outputs=("elem_state_diffusion",),
+            phase="rk.diffusion",
+        )
+    )
+    p.add_stage(
+        Stage(
+            "viscous_flux",
+            role="compute",
+            kernel="viscous_flux",
+            inputs=("elem_state_diffusion",),
+            outputs=("flux_diffusion",),
+            phase="rk.diffusion",
+            params={"num_fields": 4},
+        )
+    )
+    p.add_stage(
+        Stage(
+            "divergence_diffusion",
+            role="compute",
+            kernel="weak_divergence",
+            inputs=("flux_diffusion",),
+            outputs=("res_diffusion",),
+            phase="rk.diffusion",
+            params={"sign": 1.0, "field_start": 1, "num_fields": 4},
+        )
+    )
+    p.add_stage(
+        Stage(
+            "store_diffusion",
+            role="store",
+            kernel="scatter_add",
+            inputs=("res_diffusion",),
+            outputs=("assembled_diffusion",),
+            phase="rk.diffusion",
+            params={"field_start": 1, "num_fields": 4},
+        )
+    )
+    p.validate()
+    return p
+
+
+@lru_cache(maxsize=None)
+def _cached_pipeline(fusion: str) -> OperatorPipeline:
+    if fusion not in FUSIONS:
+        raise PipelineError(
+            f"fusion must be one of {FUSIONS}, got {fusion!r}"
+        )
+    pipeline = _base_pipeline()
+    if fusion != "none":
+        pipeline = share_loads(pipeline)
+    if fusion == "full":
+        pipeline = fuse_flux_divergence(pipeline)
+    pipeline.name = f"navier-stokes[{fusion}]"
+    return pipeline
+
+
+def navier_stokes_pipeline(fusion: str = "none") -> OperatorPipeline:
+    """The NS operator pipeline at the requested fusion level.
+
+    Construction is cached, but every call returns its own shallow copy
+    (stages are immutable records): a caller mutating its pipeline —
+    adding an experimental stage, say — cannot corrupt other operators.
+    """
+    cached = _cached_pipeline(fusion)
+    return OperatorPipeline(
+        name=cached.name,
+        stages=list(cached.stages),
+        payloads=dict(cached.payloads),
+    )
+
+
+def element_pipeline() -> OperatorPipeline:
+    """The pipeline the accelerator executes per element.
+
+    The hardware always runs the *merged* diffusion+convection COMPUTE
+    module (paper Section III), i.e. the fully fused rewrite.
+    """
+    return navier_stokes_pipeline("full")

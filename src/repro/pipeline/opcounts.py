@@ -1,0 +1,99 @@
+"""Per-stage operation counts derived from the pipeline IR.
+
+The workload characterization (:mod:`repro.solver.workload`) and the
+accelerator stage-latency split
+(:meth:`repro.accel.designs.AcceleratorDesign.pipeline_stage_cycles`)
+both consume these counts, so op-accounting, timing and functional
+execution share the pipeline as their single source of truth.
+
+Each pipeline kernel maps to the per-node building blocks of
+:mod:`repro.opcount` (annotated there with their arithmetic origin); a
+stage's count is its kernel's count scaled by the element's node count
+and the stage's ``num_fields`` parameter.
+"""
+
+from __future__ import annotations
+
+from ..errors import PipelineError
+from ..opcount import (
+    NUM_FIELDS,
+    NUM_GRADIENT_FIELDS,
+    OpCount,
+    euler_flux_per_node,
+    gradient_per_node_per_field,
+    load_element,
+    primitives_per_node,
+    store_element,
+    tau_per_node,
+    viscous_flux_per_node,
+    weak_divergence_per_node_per_field,
+)
+from .ir import OperatorPipeline, Stage
+
+
+def stage_op_count(stage: Stage, polynomial_order: int) -> OpCount:
+    """Per-element :class:`~repro.opcount.OpCount` of one stage."""
+    n1 = polynomial_order + 1
+    q = n1**3
+    fields = int(stage.param("num_fields", NUM_FIELDS))
+    kernel = stage.kernel
+    if kernel == "gather":
+        return load_element(q)
+    if kernel == "scatter_add":
+        return store_element(q, fields)
+    if kernel == "weak_divergence":
+        return weak_divergence_per_node_per_field(n1).scaled(q * fields)
+    if kernel == "convective_flux":
+        return (primitives_per_node() + euler_flux_per_node()).scaled(q)
+    if kernel == "viscous_flux":
+        pointwise = (
+            primitives_per_node() + tau_per_node() + viscous_flux_per_node()
+        )
+        return pointwise.scaled(q) + gradient_per_node_per_field(n1).scaled(
+            q * NUM_GRADIENT_FIELDS
+        )
+    if kernel == "combined_flux":
+        # One primitive conversion shared by both flux families.
+        pointwise = (
+            primitives_per_node()
+            + euler_flux_per_node()
+            + tau_per_node()
+            + viscous_flux_per_node()
+        )
+        return pointwise.scaled(q) + gradient_per_node_per_field(n1).scaled(
+            q * NUM_GRADIENT_FIELDS
+        )
+    raise PipelineError(
+        f"stage {stage.name!r}: no op-count model for kernel {kernel!r}"
+    )
+
+
+def pipeline_op_counts(
+    pipeline: OperatorPipeline, polynomial_order: int
+) -> dict[str, OpCount]:
+    """Per-element op counts for every stage, keyed by stage name."""
+    return {
+        stage.name: stage_op_count(stage, polynomial_order)
+        for stage in pipeline.topological_order()
+    }
+
+
+def pipeline_phase_op_counts(
+    pipeline: OperatorPipeline, polynomial_order: int
+) -> dict[str, OpCount]:
+    """Per-element op counts aggregated by profiler phase.
+
+    For the unfused pipeline this reproduces the paper's
+    ``rk.convection`` / ``rk.diffusion`` split (each pass pays its own
+    LOAD and STORE, Fig. 1); the fused rewrite yields a single
+    ``rk.fused`` phase with the shared-stage savings visible in the
+    totals.
+    """
+    totals: dict[str, OpCount] = {}
+    for stage in pipeline.topological_order():
+        count = stage_op_count(stage, polynomial_order)
+        if stage.phase in totals:
+            totals[stage.phase] = totals[stage.phase] + count
+        else:
+            totals[stage.phase] = count
+    return totals

@@ -1,13 +1,14 @@
 """The FEM spatial operator for the compressible Navier-Stokes equations.
 
-This is the computational core the paper accelerates, organized exactly as
-its Fig. 1 dataflow graph:
-
-- the **Convection** pass: LOAD element -> (per node) compute the Euler
-  fluxes and their weak-divergence residuals -> STORE contribution;
-- the **Diffusion** pass: LOAD element -> (per node) compute gradients,
-  the viscous stress ``tau``, the viscous/heat fluxes and their
-  weak-divergence residuals -> STORE contribution.
+This is the computational core the paper accelerates, organized exactly
+as its Fig. 1 dataflow graph — and, since the operator-pipeline IR
+refactor, *declared* as one: the operator builds an
+:class:`~repro.pipeline.ir.OperatorPipeline` instance for its fusion
+level and executes it functionally
+(:func:`~repro.pipeline.executor.run_pipeline`). The same IR instance is
+what the accelerator co-simulator streams real elements through and what
+the workload characterization derives its per-stage operation counts
+from.
 
 Every kernel on this path — gather, gradients, weak divergences,
 scatter-add — routes through a pluggable :class:`~repro.backend.KernelBackend`
@@ -16,7 +17,8 @@ scatter-add — routes through a pluggable :class:`~repro.backend.KernelBackend`
 paper's retargetable dataflow.
 
 Three fusion levels control how much of the Fig. 1 round-trip the two
-passes share (``fusion=``):
+passes share (``fusion=``); each is a *graph rewrite* of the base
+pipeline (:mod:`repro.pipeline.rewrites`), not a separate code path:
 
 - ``"none"`` — independent gather/scatter per pass, mirroring the
   paper's profiled C++ (whose diffusion and convection functions are
@@ -40,9 +42,15 @@ from ..fem.assembly import lumped_mass
 from ..fem.geometry import compute_geometry
 from ..fem.reference import reference_hex
 from ..mesh.hexmesh import HexMesh
-from ..physics.fluxes import combined_rhs_fluxes, convective_fluxes, viscous_fluxes
 from ..physics.gas import GasProperties
 from ..physics.state import NUM_CONSERVED, FlowState
+from ..pipeline import (
+    PipelineContext,
+    assembled_total,
+    element_residuals,
+    navier_stokes_pipeline,
+    run_pipeline,
+)
 from .profiler import PhaseProfiler
 
 #: Valid values of the ``fusion`` parameter.
@@ -60,8 +68,8 @@ class NavierStokesOperator:
         Working-fluid properties.
     profiler:
         Optional :class:`PhaseProfiler`; phases ``rk.diffusion``,
-        ``rk.convection`` and ``rk.other`` are attributed as in the
-        paper's Fig. 2.
+        ``rk.convection`` and ``rk.other`` are attributed per pipeline
+        stage as in the paper's Fig. 2.
     fused:
         Back-compat alias: ``fused=True`` selects ``fusion="gather"``.
     fusion:
@@ -97,6 +105,9 @@ class NavierStokesOperator:
         self.mass = lumped_mass(
             mesh.connectivity, mesh.num_nodes, self.geom, self.ref
         )
+        #: The declarative stage graph this operator executes.
+        self.pipeline = navier_stokes_pipeline(fusion)
+        self._ctx = PipelineContext.from_operator(self)
         # Wall-bounded meshes (any non-periodic axis) get strongly
         # enforced no-slip isothermal walls: momentum and energy are held
         # at the wall values by zeroing their residuals on wall nodes.
@@ -113,88 +124,46 @@ class NavierStokesOperator:
         """Back-compat: whether any gather sharing is active."""
         return self.fusion != "none"
 
-    # -- element-local physics ----------------------------------------------
-
-    def _element_primitives(
-        self, state_elem: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """Primitive fields per element node from gathered conservatives.
-
-        ``state_elem`` is ``(5, E, Q)``; returns
-        ``(rho, velocity(3, E, Q), pressure, temperature, total_energy)``.
-        This is the node-level LOAD stage of Fig. 1.
-        """
-        rho = state_elem[0]
-        momentum = state_elem[1:4]
-        total_energy = state_elem[4]
-        velocity = momentum / rho[None]
-        kinetic = 0.5 * np.sum(momentum * velocity, axis=0)
-        internal = total_energy - kinetic
-        pressure = (self.gas.gamma - 1.0) * internal
-        temperature = internal / (rho * self.gas.cv)
-        return rho, velocity, pressure, temperature, total_energy
-
-    def _viscous_element_fluxes(self, velocity: np.ndarray, temperature: np.ndarray):
-        """Viscous/heat :class:`FluxSet` from the batched node gradients.
-
-        Computes the gradients of the three velocity components and the
-        temperature in one backend call (COMPUTE-Gradients in Fig. 1),
-        then the stress tensor and fluxes (stages 2a/2b/2c of Fig. 3).
-        """
-        fields = np.concatenate([velocity, temperature[None]], axis=0)
-        grads = self.backend.physical_gradient_many(fields, self.geom, self.ref)
-        grad_u = np.moveaxis(grads[:3], 0, 2)  # (E, Q, i, j) = du_i/dx_j
-        grad_t = grads[3]
-        return viscous_fluxes(velocity, grad_u, grad_t, self.gas)
+    # -- element-pass diagnostics (compute-only pipeline execution) ----------
 
     def convection_element_residuals(self, state_elem: np.ndarray) -> np.ndarray:
-        """Per-element convection residuals ``-div F_c`` (weak), ``(5, E, Q)``."""
-        rho, velocity, pressure, _temperature, total_energy = (
-            self._element_primitives(state_elem)
-        )
-        fluxes = convective_fluxes(rho, velocity, pressure, total_energy)
-        return -self.backend.weak_divergence_many(
-            fluxes.stacked(), self.geom, self.ref
+        """Per-element convection residuals ``-div F_c`` (weak), ``(5, E, Q)``.
+
+        Executes the convection branch of the unfused pipeline on an
+        already gathered element state.
+        """
+        return element_residuals(
+            navier_stokes_pipeline("none"),
+            self._ctx,
+            state_elem,
+            phases=("rk.convection",),
         )
 
     def diffusion_element_residuals(self, state_elem: np.ndarray) -> np.ndarray:
         """Per-element diffusion residuals ``+div F_v`` (weak), ``(5, E, Q)``.
 
-        Computes the node gradients of velocity and temperature, the
-        stress tensor ``tau``, and the viscous/heat fluxes — the 2a/2b/2c
-        node stages of the paper's Fig. 3.
+        Executes the diffusion branch — node gradients of velocity and
+        temperature, the stress tensor ``tau``, and the viscous/heat
+        fluxes (the 2a/2b/2c node stages of the paper's Fig. 3); the
+        mass row has no viscous flux and stays exactly zero.
         """
-        _rho, velocity, _pressure, temperature, _total_energy = (
-            self._element_primitives(state_elem)
+        return element_residuals(
+            navier_stokes_pipeline("none"),
+            self._ctx,
+            state_elem,
+            phases=("rk.diffusion",),
         )
-        fluxes = self._viscous_element_fluxes(velocity, temperature)
-        num_elem, nodes = temperature.shape
-        out = np.zeros((NUM_CONSERVED, num_elem, nodes))
-        # The mass equation has no viscous flux; only momentum + energy
-        # divergences are computed.
-        stacked = np.stack(
-            [fluxes.momentum[..., i, :] for i in range(3)] + [fluxes.energy]
-        )
-        out[1:] = self.backend.weak_divergence_many(stacked, self.geom, self.ref)
-        return out
 
     def fused_element_residuals(self, state_elem: np.ndarray) -> np.ndarray:
         """Convection + diffusion residuals in one pass, ``(5, E, Q)``.
 
-        Combines the convective and viscous fluxes per node and takes a
-        *single* weak divergence per conserved field (5 instead of 9),
-        the element-level arithmetic sharing of the accelerator's merged
-        COMPUTE module. Linearity of the weak divergence makes this
-        exactly the sum of the two separate passes (up to rounding).
+        Executes the fully fused pipeline's compute stages: combined
+        fluxes per node and a *single* weak divergence per conserved
+        field (5 instead of 9). Linearity of the weak divergence makes
+        this exactly the sum of the two separate passes (up to rounding).
         """
-        rho, velocity, pressure, temperature, total_energy = (
-            self._element_primitives(state_elem)
-        )
-        conv = convective_fluxes(rho, velocity, pressure, total_energy)
-        visc = self._viscous_element_fluxes(velocity, temperature)
-        net = combined_rhs_fluxes(conv, visc)
-        return -self.backend.weak_divergence_many(
-            net.stacked(), self.geom, self.ref
+        return element_residuals(
+            navier_stokes_pipeline("full"), self._ctx, state_elem
         )
 
     # -- global residual ------------------------------------------------------
@@ -203,70 +172,41 @@ class NavierStokesOperator:
         """LOAD-element: ``(5, N)`` global state to ``(5, E, Q)`` local."""
         return self.backend.gather(stacked, self.mesh.connectivity)
 
-    def _scatter_residuals(self, element_res: np.ndarray) -> np.ndarray:
-        """STORE-element-contribution: accumulate ``(5, E, Q)`` to ``(5, N)``."""
-        return self.backend.scatter_add_many(
-            element_res, self.mesh.connectivity, self.mesh.num_nodes
-        )
+    def finalize_residual(self, assembled: np.ndarray) -> np.ndarray:
+        """Mass inversion + wall conditions on an assembled ``(5, N)`` sum.
+
+        Shared by :meth:`residual` and the streaming co-simulation so
+        both finish the element pipeline identically. The diagonal
+        lumped mass is inverted pointwise; on wall-bounded meshes the
+        no-slip isothermal conditions pin momentum and energy (their
+        residuals vanish on wall nodes) while density evolves freely
+        (zero normal mass flux holds because the wall velocity is zero).
+        """
+        with self.profiler.phase("rk.other"):
+            rhs = assembled / self.mass[None, :]
+            if self.wall_nodes.size:
+                rhs[1:, self.wall_nodes] = 0.0
+        return rhs
 
     def residual(self, stacked: np.ndarray) -> np.ndarray:
         """Full right-hand side ``dq/dt`` for the stacked state ``(5, N)``.
 
-        With ``fusion="none"`` / ``"gather"`` the diffusion and
-        convection contributions are computed by independent element
-        passes (as profiled in the paper) and summed after assembly; with
+        Executes the operator's pipeline instance functionally. With
+        ``fusion="none"`` / ``"gather"`` the diffusion and convection
+        contributions are computed by independent element passes (as
+        profiled in the paper) and summed after assembly; with
         ``fusion="full"`` one combined pass shares a single
-        gather/divergence/scatter round-trip. The diagonal lumped mass is
-        inverted pointwise either way.
+        gather/divergence/scatter round-trip.
         """
         stacked = np.asarray(stacked, dtype=np.float64)
         if stacked.shape != (NUM_CONSERVED, self.mesh.num_nodes):
             raise SolverError(
                 f"state must be (5, {self.mesh.num_nodes}), got {stacked.shape}"
             )
-        prof = self.profiler
-        if self.fusion == "full":
-            # Shared stages cannot be split between the paper's Diffusion
-            # and Convection categories; rk.fused counts as RK(Other).
-            with prof.phase("rk.fused"):
-                state_elem = self._gather_state(stacked)
-                total = self._scatter_residuals(
-                    self.fused_element_residuals(state_elem)
-                )
-        elif self.fusion == "gather":
-            with prof.phase("rk.other"):
-                state_elem = self._gather_state(stacked)
-            with prof.phase("rk.convection"):
-                conv = self._scatter_residuals(
-                    self.convection_element_residuals(state_elem)
-                )
-            with prof.phase("rk.diffusion"):
-                diff = self._scatter_residuals(
-                    self.diffusion_element_residuals(state_elem)
-                )
-        else:
-            with prof.phase("rk.convection"):
-                state_elem = self._gather_state(stacked)
-                conv = self._scatter_residuals(
-                    self.convection_element_residuals(state_elem)
-                )
-            with prof.phase("rk.diffusion"):
-                state_elem = self._gather_state(stacked)
-                diff = self._scatter_residuals(
-                    self.diffusion_element_residuals(state_elem)
-                )
-        with prof.phase("rk.other"):
-            if self.fusion == "full":
-                rhs = total / self.mass[None, :]
-            else:
-                rhs = (conv + diff) / self.mass[None, :]
-            if self.wall_nodes.size:
-                # No-slip isothermal walls: u and T (hence momentum and
-                # total energy) are prescribed, so their residuals vanish;
-                # density evolves freely (zero normal mass flux holds
-                # because the wall velocity is zero).
-                rhs[1:, self.wall_nodes] = 0.0
-        return rhs
+        outputs = run_pipeline(
+            self.pipeline, self._ctx, {"state": stacked}, profiler=self.profiler
+        )
+        return self.finalize_residual(assembled_total(outputs))
 
     # -- diagnostics support ---------------------------------------------------
 

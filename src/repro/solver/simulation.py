@@ -20,7 +20,7 @@ import numpy as np
 from ..errors import SolverError
 from ..physics.diagnostics import kinetic_energy, total_mass
 from ..physics.gas import GasProperties
-from ..physics.state import FlowState
+from ..physics.state import NUM_CONSERVED, FlowState
 from ..physics.taylor_green import TGVCase, taylor_green_initial
 from ..timeint.butcher import RK4, ButcherTableau
 from ..timeint.cfl import stable_time_step
@@ -151,6 +151,14 @@ class Simulation:
             self.state = initial_state
             self.time = 0.0
             self._min_spacing, _ = self.operator.stable_dt_inputs(self.state)
+            # Preallocated RK stage-combination buffers, reused by every
+            # step (the accelerator's on-chip staging analogue): the
+            # accumulated increment, a scaled-derivative scratch, and the
+            # stage-state buffer the operator reads from.
+            shape = (NUM_CONSERVED, mesh.num_nodes)
+            self._rk_increment = np.empty(shape)
+            self._rk_scratch = np.empty(shape)
+            self._rk_stage_state = np.empty(shape)
 
     # -- stepping -------------------------------------------------------------
 
@@ -162,8 +170,34 @@ class Simulation:
             self._min_spacing, wave, nu, cfl=self.cfl
         )
 
+    def _accumulate_weighted(
+        self, derivs: list[np.ndarray], coeffs, out: np.ndarray
+    ) -> bool:
+        """``out = sum_k coeffs[k] * derivs[k]`` using the scratch buffer.
+
+        Writes into the preallocated ``out`` without per-term temporaries;
+        returns False when every coefficient is zero (``out`` untouched).
+        """
+        scratch = self._rk_scratch
+        first = True
+        for deriv, coeff in zip(derivs, coeffs):
+            if coeff == 0.0:
+                continue
+            if first:
+                np.multiply(deriv, coeff, out=out)
+                first = False
+            else:
+                np.multiply(deriv, coeff, out=scratch)
+                out += scratch
+        return not first
+
     def step(self, dt: float) -> None:
-        """Advance one RK step of size ``dt`` (the paper's RKL + RKU)."""
+        """Advance one RK step of size ``dt`` (the paper's RKL + RKU).
+
+        The stage-combination axpys run in the buffers preallocated at
+        construction, so the steady-state loop performs no per-stage
+        allocations beyond the residual evaluations themselves.
+        """
         if dt <= 0:
             raise SolverError(f"dt must be positive, got {dt}")
         prof = self.profiler
@@ -173,20 +207,19 @@ class Simulation:
         for stage in range(tableau.num_stages):
             with prof.phase("rk.update"):
                 y_stage = y
-                if stage > 0:
-                    increment = np.zeros_like(y)
-                    for prev in range(stage):
-                        coeff = tableau.a[stage, prev]
-                        if coeff != 0.0:
-                            increment += coeff * stage_derivs[prev]
-                    y_stage = y + dt * increment
+                if stage > 0 and self._accumulate_weighted(
+                    stage_derivs, tableau.a[stage, :stage], self._rk_increment
+                ):
+                    np.multiply(self._rk_increment, dt, out=self._rk_stage_state)
+                    self._rk_stage_state += y
+                    y_stage = self._rk_stage_state
             # The operator attributes its own rk.diffusion / rk.convection.
             stage_derivs.append(self.operator.residual(y_stage))
         with prof.phase("rk.update"):
-            for stage in range(tableau.num_stages):
-                weight = tableau.b[stage]
-                if weight != 0.0:
-                    y = y + dt * weight * stage_derivs[stage]
+            if self._accumulate_weighted(
+                stage_derivs, tableau.b, self._rk_increment
+            ):
+                y = y + dt * self._rk_increment
             new_state = FlowState.from_stacked(y)
             # RKU: re-derive the primitive set rho, u, T, E, p (the values
             # the paper's RKU kernel writes back each step).

@@ -10,152 +10,40 @@ Counting conventions
 --------------------
 - Counts are **per RK stage** unless stated otherwise; one time step runs
   ``tableau.num_stages`` stages plus the RK combination and RKU update.
-- ``Q = (p + 1)**3`` nodes per element; ``n1 = p + 1``.
-- A "value" is one scalar of the working precision (the CPU model prices
-  fp64, the accelerator fp32).
-- Gather/scatter DRAM traffic counts the element-copy volume (each
-  element reads its own copy of shared nodes), matching both the paper's
-  C++ (independent diffusion/convection passes) and the accelerator's
-  LOAD/STORE streams.
-
-The per-node operation counts follow directly from the arithmetic in
-:mod:`repro.fem.operators` and :mod:`repro.physics`; each constant is
-annotated with its origin.
+- The per-node building blocks (:class:`OpCount` and friends) live in
+  the dependency-leaf module :mod:`repro.opcount`, shared with the
+  pipeline-IR per-stage derivation (:mod:`repro.pipeline.opcounts`);
+  they are re-exported here for the established import paths.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 from ..errors import SolverError
+from ..mesh.hexmesh import elements_for_node_count
 from ..timeint.butcher import RK4, ButcherTableau
 
-#: Conserved fields (rho, 3 momentum, total energy).
-NUM_FIELDS = 5
-#: Fields whose gradient the diffusion pass needs (u, v, w, T).
-NUM_GRADIENT_FIELDS = 4
-#: Fields with a nonzero viscous flux (3 momentum + energy).
-NUM_VISCOUS_FIELDS = 4
-#: Per-element metric values streamed alongside the state for an affine
-#: element: 9 inverse-Jacobian entries plus the per-node quadrature scale.
-METRIC_VALUES_PER_ELEMENT_CONST = 9
-
-
-@dataclass(frozen=True)
-class OpCount:
-    """Operation and traffic counts of one code region."""
-
-    adds: float = 0.0
-    muls: float = 0.0
-    divs: float = 0.0
-    specials: float = 0.0  # sqrt and friends
-    dram_reads: float = 0.0  # values
-    dram_writes: float = 0.0  # values
-
-    @property
-    def flops(self) -> float:
-        """Total floating-point operations (all classes)."""
-        return self.adds + self.muls + self.divs + self.specials
-
-    @property
-    def dram_values(self) -> float:
-        """Total DRAM traffic in values."""
-        return self.dram_reads + self.dram_writes
-
-    def __add__(self, other: "OpCount") -> "OpCount":
-        return OpCount(
-            adds=self.adds + other.adds,
-            muls=self.muls + other.muls,
-            divs=self.divs + other.divs,
-            specials=self.specials + other.specials,
-            dram_reads=self.dram_reads + other.dram_reads,
-            dram_writes=self.dram_writes + other.dram_writes,
-        )
-
-    def scaled(self, factor: float) -> "OpCount":
-        """All counts multiplied by ``factor``."""
-        return OpCount(
-            adds=self.adds * factor,
-            muls=self.muls * factor,
-            divs=self.divs * factor,
-            specials=self.specials * factor,
-            dram_reads=self.dram_reads * factor,
-            dram_writes=self.dram_writes * factor,
-        )
-
+# Re-exported building blocks (see repro.opcount for the definitions).
+from ..opcount import (  # noqa: F401  (public re-exports)
+    METRIC_VALUES_PER_ELEMENT_CONST,
+    NUM_FIELDS,
+    NUM_GRADIENT_FIELDS,
+    NUM_VISCOUS_FIELDS,
+    OpCount,
+    euler_flux_per_node,
+    gradient_per_node_per_field,
+    load_element,
+    primitives_per_node,
+    store_element,
+    tau_per_node,
+    viscous_flux_per_node,
+    weak_divergence_per_node_per_field,
+)
 
 # ---------------------------------------------------------------------------
-# Per-node building blocks (functions of the 1D node count n1)
+# Per-element COMPUTE tasks (the paper's Fig. 1 / Fig. 3 stages)
 # ---------------------------------------------------------------------------
-
-
-def primitives_per_node() -> OpCount:
-    """Conservative -> primitive conversion at one node.
-
-    ``u = m / rho`` (3 div), kinetic ``m.u/2`` (3 mul + 2 add + 1 mul),
-    internal energy (1 sub), pressure (1 mul), temperature (1 div, 1 mul).
-    """
-    return OpCount(adds=3, muls=6, divs=4)
-
-
-def gradient_per_node_per_field(n1: int) -> OpCount:
-    """One field's physical gradient at one node.
-
-    Reference gradient: 3 directions x (n1 mul + (n1 - 1) add); metric
-    application (affine): 9 mul + 6 add.
-    """
-    return OpCount(adds=3 * (n1 - 1) + 6, muls=3 * n1 + 9)
-
-
-def tau_per_node() -> OpCount:
-    """Viscous stress tensor at one node (see ``physics.viscous``).
-
-    Trace (2 add), symmetrization (9 add), scale by mu (9 mul), diagonal
-    Stokes correction (1 mul + 3 mul + 3 add).
-    """
-    return OpCount(adds=14, muls=13)
-
-
-def viscous_flux_per_node() -> OpCount:
-    """``tau . u`` (9 mul + 6 add) plus ``kappa grad T`` (3 mul + 3 add)."""
-    return OpCount(adds=9, muls=12)
-
-
-def euler_flux_per_node() -> OpCount:
-    """Euler fluxes: ``rho u`` (3 mul), ``rho u_i u_j + p I`` (9 mul +
-    3 add), ``(E + p) u`` (1 add + 3 mul)."""
-    return OpCount(adds=4, muls=15)
-
-
-def weak_divergence_per_node_per_field(n1: int) -> OpCount:
-    """One field's weak divergence at one node.
-
-    Contravariant transform (9 mul + 6 add) + quadrature scaling (3 mul);
-    transposed derivative in 3 directions (3 n1 mul + 3 (n1 - 1) add) and
-    2 adds combining the direction partials.
-    """
-    return OpCount(adds=6 + 3 * (n1 - 1) + 2, muls=12 + 3 * n1)
-
-
-# ---------------------------------------------------------------------------
-# Per-element tasks (the paper's Fig. 1 / Fig. 3 stages)
-# ---------------------------------------------------------------------------
-
-
-def load_element(q: int, num_fields: int = NUM_FIELDS) -> OpCount:
-    """LOAD-element: stream state fields + metric terms from DRAM."""
-    return OpCount(
-        dram_reads=num_fields * q + q + METRIC_VALUES_PER_ELEMENT_CONST
-    )
-
-
-def store_element(q: int, num_fields: int) -> OpCount:
-    """STORE-element-contribution: accumulating scatter (read-modify-write)."""
-    return OpCount(
-        adds=num_fields * q,
-        dram_reads=num_fields * q,
-        dram_writes=num_fields * q,
-    )
 
 
 def compute_convection_element(n1: int) -> OpCount:
@@ -297,28 +185,29 @@ class RKWorkload:
 
 
 def rk_stage_workload(
-    num_elements: int, polynomial_order: int
+    num_elements: int, polynomial_order: int, fusion: str = "none"
 ) -> dict[str, OpCount]:
-    """Diffusion / convection element-pass work for ONE RK stage.
+    """Element-pass work for ONE RK stage, derived from the pipeline IR.
 
-    Each pass performs its own LOAD and STORE (paper Fig. 1: both
-    branches begin with LOAD Node and end with STORE Node Contribution).
+    The counts come from the per-stage op-count models of
+    :mod:`repro.pipeline.opcounts` applied to the operator pipeline at
+    the requested ``fusion`` level, aggregated by profiler phase — so
+    op-accounting prices exactly the stage graph the solver executes and
+    the co-simulator streams. With the default ``fusion="none"`` each
+    pass performs its own LOAD and STORE (paper Fig. 1: both branches
+    begin with LOAD Node and end with STORE Node Contribution), yielding
+    the classic ``rk_convection`` / ``rk_diffusion`` split; the fused
+    rewrite yields a single ``rk_fused`` phase with the shared-stage
+    savings visible in the totals.
     """
-    n1 = polynomial_order + 1
-    q = n1**3
-    convection = (
-        load_element(q)
-        + compute_convection_element(n1)
-        + store_element(q, NUM_FIELDS)
-    )
-    diffusion = (
-        load_element(q)
-        + compute_diffusion_element(n1)
-        + store_element(q, NUM_VISCOUS_FIELDS)
+    from ..pipeline import navier_stokes_pipeline, pipeline_phase_op_counts
+
+    per_element = pipeline_phase_op_counts(
+        navier_stokes_pipeline(fusion), polynomial_order
     )
     return {
-        "rk_convection": convection.scaled(num_elements),
-        "rk_diffusion": diffusion.scaled(num_elements),
+        phase.replace(".", "_"): ops.scaled(num_elements)
+        for phase, ops in per_element.items()
     }
 
 
@@ -363,9 +252,11 @@ def workload_for_node_count(
     """Workload for a periodic box mesh with ~``num_nodes`` nodes.
 
     On the periodic TGV mesh of order ``p``, elements number
-    ``num_nodes / p**3`` (each element contributes ``p**3`` unique nodes).
+    ``num_nodes / p**3`` (each element contributes ``p**3`` unique
+    nodes); the arithmetic is shared with the accelerator timing models
+    via :func:`repro.mesh.hexmesh.elements_for_node_count`.
     """
     if num_nodes < 1:
         raise SolverError("num_nodes must be >= 1")
-    num_elements = max(1, round(num_nodes / polynomial_order**3))
+    num_elements = elements_for_node_count(num_nodes, polynomial_order)
     return full_step_workload(num_nodes, num_elements, polynomial_order, tableau)

@@ -130,3 +130,69 @@ class TestForkJoin:
         assert trace.achieved_initiation_interval() == pytest.approx(
             10.0, abs=0.5
         )
+
+
+class TestPayloadExecution:
+    """Tasks with actions compute real data while the run is priced."""
+
+    def test_chain_computes_and_collects_in_order(self):
+        g = DataflowGraph("payload-chain")
+        g.chain(
+            [
+                Task("src", 3, kind="load", action=lambda i, args: i),
+                Task(
+                    "dbl",
+                    7,
+                    action=lambda i, args: 2 * args[0],
+                ),
+                Task("sink", 2, kind="store", action=lambda i, args: args[0] + 1),
+            ]
+        )
+        trace = DataflowSimulator(g).run(10)
+        assert trace.sink_results == {"sink": [2 * i + 1 for i in range(10)]}
+
+    def test_actionless_task_passes_payload_through(self):
+        g = DataflowGraph("passthrough")
+        g.chain(
+            [
+                Task("src", 1, action=lambda i, args: i * i),
+                Task("relay", 5),  # no action: forwards its input token
+                Task("sink", 1, action=lambda i, args: args[0]),
+            ]
+        )
+        trace = DataflowSimulator(g).run(5)
+        assert trace.sink_results["sink"] == [i * i for i in range(5)]
+
+    def test_actions_do_not_change_cycle_counts(self):
+        latencies = (5, 20, 3)
+        plain = DataflowSimulator(chain(latencies)).run(25)
+        g = DataflowGraph("timed")
+        g.chain(
+            [
+                Task(f"t{i}", lat, action=lambda it, args: it)
+                for i, lat in enumerate(latencies)
+            ]
+        )
+        executed = DataflowSimulator(g).run(25)
+        assert executed.total_cycles == plain.total_cycles
+
+    def test_fork_join_receives_both_payloads(self):
+        g = DataflowGraph("fork-payload")
+        g.add_task(Task("src", 2, action=lambda i, args: i))
+        g.add_task(Task("b1", 4, action=lambda i, args: args[0] + 100))
+        g.add_task(Task("b2", 4, action=lambda i, args: args[0] + 200))
+        g.add_task(
+            Task("join", 2, action=lambda i, args: sorted(args))
+        )
+        g.add_buffer(pipo("p1", "src", "b1"))
+        g.add_buffer(pipo("p2", "src", "b2"))
+        g.add_buffer(pipo("p3", "b1", "join"))
+        g.add_buffer(pipo("p4", "b2", "join"))
+        trace = DataflowSimulator(g).run(6)
+        assert trace.sink_results["join"] == [
+            [i + 100, i + 200] for i in range(6)
+        ]
+
+    def test_without_actions_no_sink_results(self):
+        trace = DataflowSimulator(chain((2, 2))).run(4)
+        assert trace.sink_results == {}

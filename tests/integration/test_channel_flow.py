@@ -99,3 +99,52 @@ class TestShearDecay:
         temps = result.final_state.temperature(case.gas())
         wall_t = temps[sim.operator.wall_nodes]
         assert np.allclose(wall_t, case.temperature0, rtol=1e-5)
+
+
+class TestFastFusedBackend:
+    """The wall-boundary path under backend='fast' + fusion='full' (the
+    production configuration); the parity suite otherwise only exercises
+    the periodic TGV case."""
+
+    @pytest.fixture(scope="class")
+    def fast_run(self):
+        case = TGVCase(mach=0.05, reynolds=100.0)
+        mesh = channel_mesh(3, 2)
+        init = decaying_shear_initial(mesh.coords, case)
+        sim = Simulation(
+            mesh, case, initial_state=init, cfl=0.4, backend="fast",
+            fusion="full",
+        )
+        result = sim.run(20)
+        return case, mesh, sim, result
+
+    def test_matches_reference_backend(self, fast_run):
+        case, mesh, sim, result = fast_run
+        ref_sim = Simulation(
+            mesh,
+            case,
+            initial_state=decaying_shear_initial(mesh.coords, case),
+            cfl=0.4,
+            backend="reference",
+        )
+        ref = ref_sim.run(20).final_state.as_stacked()
+        got = result.final_state.as_stacked()
+        assert np.abs(got - ref).max() <= 1e-9 * np.abs(ref).max()
+        assert sim.backend_name == "fast"
+        assert sim.operator.fusion == "full"
+
+    def test_decay_rate_matches_analytic(self, fast_run):
+        case, _mesh, sim, result = fast_run
+        v_num = result.final_state.velocity()
+        measured = float(np.max(np.abs(v_num[0]))) / case.velocity
+        exact = float(np.exp(-shear_decay_rate(case) * sim.time))
+        assert measured == pytest.approx(exact, rel=1e-3)
+
+    def test_walls_stay_no_slip(self, fast_run):
+        _case, _mesh, sim, result = fast_run
+        wall_vel = result.final_state.velocity()[:, sim.operator.wall_nodes]
+        assert np.abs(wall_vel).max() < 1e-12
+
+    def test_mass_conserved(self, fast_run):
+        _case, _mesh, _sim, result = fast_run
+        assert result.mass_drift() < 1e-12

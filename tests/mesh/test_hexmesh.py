@@ -132,3 +132,30 @@ class TestValidation:
         assert small_periodic_mesh.checksum() == pytest.approx(
             small_periodic_mesh.checksum()
         )
+
+
+class TestElementsForNodeCount:
+    """The shared periodic node->element arithmetic (used by both the
+    workload characterization and the accelerator timing)."""
+
+    def test_matches_generated_meshes(self):
+        from repro.mesh.hexmesh import elements_for_node_count
+
+        for k, p in ((2, 2), (3, 2), (2, 3)):
+            mesh = periodic_box_mesh(k, p)
+            assert (
+                elements_for_node_count(mesh.num_nodes, p)
+                == mesh.num_elements
+            )
+
+    def test_floors_at_one_element(self):
+        from repro.mesh.hexmesh import elements_for_node_count
+
+        assert elements_for_node_count(1, 7) == 1
+
+    def test_rejects_nonpositive_nodes(self):
+        from repro.errors import MeshError
+        from repro.mesh.hexmesh import elements_for_node_count
+
+        with pytest.raises(MeshError):
+            elements_for_node_count(0)

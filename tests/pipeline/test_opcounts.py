@@ -1,0 +1,102 @@
+"""Per-stage op counts: the pipeline as the workload's source of truth."""
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.pipeline import (
+    Stage,
+    navier_stokes_pipeline,
+    pipeline_op_counts,
+    pipeline_phase_op_counts,
+    stage_op_count,
+)
+from repro.solver.workload import (
+    NUM_FIELDS,
+    NUM_VISCOUS_FIELDS,
+    compute_convection_element,
+    compute_diffusion_element,
+    load_element,
+    store_element,
+)
+
+ORDER = 2
+N1 = ORDER + 1
+Q = N1**3
+
+
+class TestStageCounts:
+    def test_every_stage_priced(self):
+        for fusion in ("none", "gather", "full"):
+            counts = pipeline_op_counts(navier_stokes_pipeline(fusion), ORDER)
+            assert all(c.flops >= 0 for c in counts.values())
+            assert len(counts) == len(navier_stokes_pipeline(fusion).stages)
+
+    def test_unknown_kernel_rejected(self):
+        rogue = Stage(
+            "s", role="compute", kernel="fft", inputs=("x",), outputs=("y",)
+        )
+        with pytest.raises(PipelineError):
+            stage_op_count(rogue, ORDER)
+
+    def test_convection_branch_matches_legacy_formulas(self):
+        """The stage-derived convection pass equals the hand-derived
+        load + compute + store split of the original workload model."""
+        counts = pipeline_op_counts(navier_stokes_pipeline("none"), ORDER)
+        branch = (
+            counts["load_convection"]
+            + counts["convective_flux"]
+            + counts["divergence_convection"]
+            + counts["store_convection"]
+        )
+        legacy = (
+            load_element(Q)
+            + compute_convection_element(N1)
+            + store_element(Q, NUM_FIELDS)
+        )
+        assert branch.flops == pytest.approx(legacy.flops)
+        assert branch.dram_values == pytest.approx(legacy.dram_values)
+
+    def test_diffusion_branch_matches_legacy_formulas(self):
+        counts = pipeline_op_counts(navier_stokes_pipeline("none"), ORDER)
+        branch = (
+            counts["load_diffusion"]
+            + counts["viscous_flux"]
+            + counts["divergence_diffusion"]
+            + counts["store_diffusion"]
+        )
+        legacy = (
+            load_element(Q)
+            + compute_diffusion_element(N1)
+            + store_element(Q, NUM_VISCOUS_FIELDS)
+        )
+        assert branch.flops == pytest.approx(legacy.flops)
+        assert branch.dram_values == pytest.approx(legacy.dram_values)
+
+
+class TestPhaseAggregation:
+    def test_unfused_phases(self):
+        phases = pipeline_phase_op_counts(navier_stokes_pipeline("none"), ORDER)
+        assert set(phases) == {"rk.convection", "rk.diffusion"}
+
+    def test_gather_sharing_moves_one_load_to_other(self):
+        none = pipeline_phase_op_counts(navier_stokes_pipeline("none"), ORDER)
+        shared = pipeline_phase_op_counts(
+            navier_stokes_pipeline("gather"), ORDER
+        )
+        assert set(shared) == {"rk.other", "rk.convection", "rk.diffusion"}
+        # one gather's DRAM traffic saved
+        saved = sum(p.dram_values for p in none.values()) - sum(
+            p.dram_values for p in shared.values()
+        )
+        assert saved == pytest.approx(load_element(Q).dram_values)
+
+    def test_full_fusion_saves_work(self):
+        """The fused rewrite shares primitives, divergences, one load and
+        one store: strictly less work than the two independent passes."""
+        none = pipeline_phase_op_counts(navier_stokes_pipeline("none"), ORDER)
+        full = pipeline_phase_op_counts(navier_stokes_pipeline("full"), ORDER)
+        assert set(full) == {"rk.fused"}
+        total_none = sum(p.flops for p in none.values())
+        assert 0.6 * total_none < full["rk.fused"].flops < total_none
+        total_none_dram = sum(p.dram_values for p in none.values())
+        assert full["rk.fused"].dram_values < total_none_dram

@@ -102,3 +102,45 @@ class TestAggregates:
             full_step_workload(0, 1, 2)
         with pytest.raises(SolverError):
             workload_for_node_count(0)
+
+
+class TestPipelineDerivedWorkload:
+    """rk_stage_workload is derived from the operator pipeline IR; the
+    fusion levels are the same graph rewrites the solver executes."""
+
+    def test_gather_fusion_moves_shared_load_to_other(self):
+        shared = rk_stage_workload(10, 2, fusion="gather")
+        assert set(shared) == {"rk_other", "rk_convection", "rk_diffusion"}
+        none = rk_stage_workload(10, 2)
+        saved = sum(w.dram_values for w in none.values()) - sum(
+            w.dram_values for w in shared.values()
+        )
+        # exactly one element-load's traffic disappears
+        assert saved == pytest.approx(10 * load_element(27).dram_values)
+
+    def test_full_fusion_single_phase_and_cheaper(self):
+        none = rk_stage_workload(10, 2)
+        full = rk_stage_workload(10, 2, fusion="full")
+        assert set(full) == {"rk_fused"}
+        total_none = sum(w.flops for w in none.values())
+        assert full["rk_fused"].flops < total_none
+
+    def test_default_matches_legacy_split(self):
+        """The default (unfused) derivation reproduces the original
+        hand-written load+compute+store accounting exactly."""
+        stage = rk_stage_workload(7, 2)
+        legacy_conv = (
+            load_element(27)
+            + compute_convection_element(3)
+            + store_element(27, 5)
+        ).scaled(7)
+        assert stage["rk_convection"].flops == pytest.approx(legacy_conv.flops)
+        assert stage["rk_convection"].dram_values == pytest.approx(
+            legacy_conv.dram_values
+        )
+
+    def test_element_count_helper_shared_with_mesh_layer(self):
+        from repro.mesh.hexmesh import elements_for_node_count
+
+        w = workload_for_node_count(8_000, polynomial_order=2)
+        assert w.num_elements == elements_for_node_count(8_000, 2) == 1_000
