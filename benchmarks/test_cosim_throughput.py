@@ -1,0 +1,131 @@
+"""Co-simulation throughput vs block size and CU count (PR 3 tentpole).
+
+Measures (not estimates) the wall-clock of the payload-carrying cycle
+simulation — :func:`repro.accel.cosim.streamed_residual` on a real
+64-element TGV mesh — across token block sizes and compute-unit counts.
+Batching must pay: one block token amortizes the simulator's per-event
+Python cost over B elements, which is what lets
+``cosimulate_small_mesh`` graduate to meshes ~an order of magnitude
+beyond the single-element streaming limit.
+
+Headline numbers (elements/second) are written to ``BENCH_pr3.json``
+and uploaded as a CI artifact for trend tracking.
+
+Run with ``python -m pytest benchmarks/test_cosim_throughput.py -v -s``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.accel.cosim import streamed_residual
+from repro.mesh.hexmesh import periodic_box_mesh
+from repro.physics.taylor_green import DEFAULT_TGV, taylor_green_initial
+from repro.solver.navier_stokes import NavierStokesOperator
+
+#: 4^3 elements at p=3 — 8x the 8-element single-element workhorse.
+ELEMENTS_PER_DIRECTION = 4
+ORDER = 3
+
+BLOCK_SIZES = (1, 4, 16, 32)
+CU_COUNTS = (1, 2)
+
+#: Batched streaming must beat single-element streaming by at least
+#: this factor at the largest block size (same mesh, same physics).
+MIN_BATCHING_SPEEDUP = 1.5
+
+#: Perf-trajectory artifact consumed by CI.
+ARTIFACT_PATH = Path(__file__).resolve().parent / "BENCH_pr3.json"
+
+
+def _best_of(fn, repeat: int = 3):
+    """Best wall-clock over ``repeat`` calls (after warmup) + a result."""
+    result = fn()
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def measurements(proposed):
+    mesh = periodic_box_mesh(ELEMENTS_PER_DIRECTION, ORDER)
+    op = NavierStokesOperator(mesh, DEFAULT_TGV.gas(), backend="fast")
+    stacked = taylor_green_initial(mesh.coords, DEFAULT_TGV).as_stacked()
+
+    cases = {}
+    for num_cus in CU_COUNTS:
+        for block_size in BLOCK_SIZES:
+            seconds, (_, trace) = _best_of(
+                lambda bs=block_size, n=num_cus: streamed_residual(
+                    proposed, op, stacked, block_size=bs, num_cus=n
+                )
+            )
+            cases[f"cus{num_cus}_block{block_size}"] = {
+                "num_cus": num_cus,
+                "block_size": block_size,
+                "seconds": seconds,
+                "elements_per_second": mesh.num_elements / seconds,
+                "simulated_cycles": trace.total_cycles,
+            }
+    return mesh, cases
+
+
+def test_throughput_recorded(measurements):
+    mesh, cases = measurements
+    print()
+    print(
+        f"cosim throughput on {mesh.num_elements} elements "
+        f"(p={ORDER}, fast backend)"
+    )
+    print(f"{'case':>16} {'elems/s':>10} {'cycles':>8}")
+    for name, row in cases.items():
+        print(
+            f"{name:>16} {row['elements_per_second']:>10.0f} "
+            f"{row['simulated_cycles']:>8}"
+        )
+    assert all(row["elements_per_second"] > 0 for row in cases.values())
+
+
+def test_batching_pays(measurements):
+    """The tentpole claim: block tokens amortize simulation overhead."""
+    _mesh, cases = measurements
+    single = cases["cus1_block1"]["seconds"]
+    batched = cases[f"cus1_block{max(BLOCK_SIZES)}"]["seconds"]
+    speedup = single / batched
+    print(f"\nbatching speedup (block {max(BLOCK_SIZES)} vs 1): {speedup:.2f}x")
+    assert speedup >= MIN_BATCHING_SPEEDUP
+
+
+def test_sharding_preserves_simulated_scaling(measurements):
+    """2 CUs near-halve the simulated RKL cycles at every block size."""
+    _mesh, cases = measurements
+    for block_size in BLOCK_SIZES:
+        one = cases[f"cus1_block{block_size}"]["simulated_cycles"]
+        two = cases[f"cus2_block{block_size}"]["simulated_cycles"]
+        assert two < 0.7 * one
+
+
+def test_emit_artifact(measurements):
+    """Emit the BENCH_pr3.json perf-trajectory artifact for CI upload."""
+    mesh, cases = measurements
+    single = cases["cus1_block1"]["seconds"]
+    batched = cases[f"cus1_block{max(BLOCK_SIZES)}"]["seconds"]
+    payload = {
+        "benchmark": "cosim_throughput",
+        "mesh": {
+            "elements": mesh.num_elements,
+            "nodes": mesh.num_nodes,
+            "order": ORDER,
+        },
+        "cases": cases,
+        "batching_speedup": single / batched,
+    }
+    ARTIFACT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    assert ARTIFACT_PATH.exists()

@@ -15,6 +15,19 @@ Two granularities:
   rounding error while the cycle count still matches the analytic
   ``fill + II * (E - 1)`` model: the accelerator computes the *same
   physics* the timing model prices, by construction from one IR.
+
+Streaming is *batched* and *shardable*: tokens carry element blocks
+(``block_size`` elements per simulated pipeline iteration, latencies
+scaled per block — see :func:`analytic_block_cycles`), and the element
+stream can be split across ``num_cus`` parallel task-graph instances
+merged under one simulator clock
+(:func:`~repro.mesh.partition.partition_elements_balanced` semantics,
+per-CU partial residuals reduced before finalization). The multi-CU
+timing extension (:mod:`repro.accel.multi_cu`) derives its
+:class:`~repro.accel.multi_cu.MultiCUTiming` from the same co-simulated
+graphs via
+:func:`~repro.accel.multi_cu.multi_cu_timing_from_cosim`, so timing,
+op-counts, and functional execution share one source of truth.
 """
 
 from __future__ import annotations
@@ -24,10 +37,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..config import seconds_from_cycles
-from ..dataflow.graph import DataflowGraph
+from ..dataflow.graph import DataflowGraph, merge_graphs
 from ..dataflow.simulator import DataflowSimulator, SimulationTrace
 from ..errors import ExperimentError
 from ..mesh.hexmesh import HexMesh, elements_for_node_count
+from ..mesh.partition import element_blocks, partition_elements_balanced
 from ..physics.state import NUM_CONSERVED, FlowState
 from ..pipeline import (
     DEFAULT_TASK_NAMES,
@@ -38,6 +52,7 @@ from ..pipeline import (
 )
 from ..timeint.butcher import RK4, ButcherTableau
 from .designs import AcceleratorDesign
+from .multi_cu import nodes_per_compute_unit
 
 
 @dataclass(frozen=True)
@@ -66,7 +81,25 @@ def design_timing(
     num_elements: int | None = None,
     tableau: ButcherTableau = RK4,
 ) -> DesignTiming:
-    """Analytic timing of one design at one mesh size."""
+    """Analytic timing of one design at one mesh size.
+
+    Parameters
+    ----------
+    design:
+        The elaborated design point.
+    num_nodes:
+        Mesh nodes; ``num_elements`` is derived from the design's
+        polynomial order when not given.
+    num_elements:
+        Optional explicit element count.
+    tableau:
+        RK tableau supplying the per-step stage count.
+
+    Raises
+    ------
+    ExperimentError
+        If ``num_nodes < 1``.
+    """
     if num_nodes < 1:
         raise ExperimentError("num_nodes must be >= 1")
     if num_elements is None:
@@ -100,7 +133,10 @@ def rk_method_seconds(
     num_steps: int,
     tableau: ButcherTableau = RK4,
 ) -> float:
-    """Seconds for the RK method over a whole run (Fig. 5's metric)."""
+    """Seconds for the RK method over a whole run (Fig. 5's metric).
+
+    Raises :class:`~repro.errors.ExperimentError` if ``num_steps < 1``.
+    """
     if num_steps < 1:
         raise ExperimentError("num_steps must be >= 1")
     return rk_step_seconds(design, num_nodes, tableau) * num_steps
@@ -138,28 +174,148 @@ def build_rkl_dataflow_graph(
     num_nodes: int,
     pipeline: OperatorPipeline | None = None,
     actions=None,
+    *,
+    block_sizes=None,
+    task_names=None,
+    name: str | None = None,
 ) -> DataflowGraph:
     """The element pipeline as an explicit dataflow graph.
 
     The graph structure is *lowered from the operator pipeline IR* (the
     fused pipeline — the hardware always runs the merged
     diffusion+convection COMPUTE module), with per-stage latencies from
-    :meth:`AcceleratorDesign.pipeline_stage_cycles`. Group sums equal
-    the analytic role latencies, so a cycle-level run must agree with
-    ``fill + II * (E - 1)`` — asserted by the integration tests.
-    ``actions`` optionally attaches per-role payload execution (see
-    :func:`repro.pipeline.streaming_actions`) to co-simulate
-    functionally.
+    :meth:`AcceleratorDesign.pipeline_stage_cycles`.
+
+    Parameters
+    ----------
+    design:
+        The design point supplying per-stage latencies and clocking.
+    num_nodes:
+        Gather footprint priced by the LOAD/STORE memory models — the
+        whole mesh for one CU, a CU's share of it under sharding.
+    pipeline:
+        Operator pipeline to lower (defaults to the fused
+        :func:`~repro.pipeline.navier_stokes.element_pipeline`).
+    actions:
+        Optional per-role payload execution (see
+        :func:`repro.pipeline.streaming_actions`) to co-simulate
+        functionally.
+    block_sizes:
+        Elements per token when tokens carry element blocks; task
+        latencies scale with each iteration's block size (see
+        :meth:`~repro.pipeline.ir.OperatorPipeline.to_task_graph`).
+    task_names / name:
+        Task renaming and graph name, used by the multi-CU lowering to
+        keep per-CU shards distinct inside one merged graph.
+
+    Returns
+    -------
+    DataflowGraph
+        The LOAD -> COMPUTE -> STORE chain. Group sums equal the
+        analytic role latencies, so a cycle-level run must agree with
+        ``fill + II * (tokens - 1)`` at the token granularity — asserted
+        by the integration tests.
     """
     if pipeline is None:
         pipeline = element_pipeline()
     stage_cycles = design.pipeline_stage_cycles(pipeline, num_nodes)
     return pipeline.to_task_graph(
         stage_cycles,
-        task_names=DEFAULT_TASK_NAMES,
+        task_names=task_names,
         actions=actions,
-        name=f"rkl-{design.options.name}",
+        name=name or f"rkl-{design.options.name}",
+        block_sizes=block_sizes,
     )
+
+
+def _cu_task_names(cu: int) -> dict[str, str]:
+    """Role -> task-name mapping of one compute unit's shard."""
+    return {
+        role: f"cu{cu}.{base}" for role, base in DEFAULT_TASK_NAMES.items()
+    }
+
+
+
+
+def analytic_block_cycles(
+    design: AcceleratorDesign, num_nodes: int, block_sizes
+) -> float:
+    """Analytic RKL cycles for one CU streaming the given block tokens.
+
+    The block pipeline keeps the element pipeline's cycle law at token
+    granularity: task latencies are the per-element role latencies
+    scaled by each token's block size (the II scales per block), and the
+    total follows the tandem-pipeline recurrence
+    ``finish(t, i) = max(finish(t, i-1), finish(t-1, i)) + c_t * b_i``.
+    For uniform blocks this closes to the familiar
+    ``fill_B + II_B * (tokens - 1)``, and one-element blocks recover the
+    paper's ``fill + II * (E - 1)``; the short tail block of a
+    non-divisor split only perturbs the drain term, which the recurrence
+    prices exactly. The baseline without element-level dataflow stays on
+    its serial ``II_serial * E`` regardless of blocking (tasks run
+    back-to-back either way).
+
+    Parameters
+    ----------
+    design:
+        Design point (role latencies, dataflow on/off).
+    num_nodes:
+        Gather footprint the LOAD/STORE latencies are priced at.
+    block_sizes:
+        Elements per token, in stream order.
+
+    Raises
+    ------
+    ExperimentError
+        If ``block_sizes`` is empty.
+    """
+    sizes = [int(size) for size in block_sizes]
+    if not sizes:
+        raise ExperimentError("block_sizes must be non-empty")
+    if not design.options.element_dataflow:
+        return design.rkl_element_ii(num_nodes) * sum(sizes)
+    role_cycles = list(design.rkl_element_cycles(num_nodes).values())
+    finish = [0.0] * len(role_cycles)
+    for size in sizes:
+        upstream = 0.0
+        for task, cycles in enumerate(role_cycles):
+            finish[task] = max(finish[task], upstream) + cycles * size
+            upstream = finish[task]
+    return finish[-1]
+
+
+def per_cu_simulated_cycles(
+    trace: SimulationTrace, num_cus: int
+) -> tuple[int, ...]:
+    """Per-CU drain cycle extracted from a (possibly merged) trace.
+
+    For a single CU this is the trace total; for a merged multi-CU run
+    it is, per compute unit, the last finish time among that CU's
+    ``cu<k>.``-prefixed tasks — all measured against the one shared
+    simulator clock, so ``max()`` over the result is the RKL stage time.
+
+    Raises
+    ------
+    ExperimentError
+        If the trace has no tasks for one of the requested CUs.
+    """
+    if num_cus == 1:
+        return (trace.total_cycles,)
+    cycles: list[int] = []
+    for cu in range(num_cus):
+        prefix = f"cu{cu}."
+        finishes = [
+            stats.last_finish or 0
+            for name, stats in trace.task_stats.items()
+            if name.startswith(prefix)
+        ]
+        if not finishes:
+            raise ExperimentError(
+                f"trace {trace.graph_name!r} has no tasks for compute "
+                f"unit {cu}"
+            )
+        cycles.append(max(finishes))
+    return tuple(cycles)
 
 
 def streamed_residual(
@@ -167,26 +323,132 @@ def streamed_residual(
     operator,
     stacked: np.ndarray,
     pipeline: OperatorPipeline | None = None,
+    *,
+    block_size: int = 1,
+    num_cus: int = 1,
+    partitions=None,
 ) -> tuple[np.ndarray, SimulationTrace]:
     """One right-hand side evaluated *through* the cycle simulator.
 
     Streams every mesh element through the lowered element pipeline —
-    each simulated LOAD gathers a real element, COMPUTE runs the fused
-    flux/divergence kernels on it, STORE assembles its contribution —
-    then applies the operator's mass inversion and wall conditions.
-    Returns the residual and the simulation trace (one run yields both
-    the functional result and the cycle count).
+    each simulated LOAD gathers a real element block, COMPUTE runs the
+    fused flux/divergence kernels on it, STORE assembles its
+    contribution — then applies the operator's mass inversion and wall
+    conditions.
+
+    With ``num_cus > 1`` (or explicit ``partitions``) the element stream
+    is sharded across parallel task-graph instances — one per compute
+    unit, task names prefixed ``cu<k>.`` — merged into a single graph
+    and run under one simulator clock. Each CU assembles a partial
+    residual accumulator; the partials are reduced (summed — the
+    scatter-add of the per-CU contributions) before
+    ``finalize_residual``, so the multi-CU streamed residual is
+    bit-for-bit the single-graph reduction order per CU.
+
+    Parameters
+    ----------
+    design:
+        Accelerator design point to price the pipeline with.
+    operator:
+        A :class:`~repro.solver.navier_stokes.NavierStokesOperator`;
+        supplies the mesh wiring, backend, and residual finalization.
+    stacked:
+        Global state ``(5, N)`` the residual is evaluated at.
+    pipeline:
+        Operator pipeline instance (defaults to the fused element
+        pipeline the hardware runs).
+    block_size:
+        Elements per token. Larger blocks amortize per-token simulation
+        overhead (the lever that lets bigger meshes co-simulate) while
+        the cycle law keeps its block-scaled II.
+    num_cus:
+        Number of compute units to shard across
+        (:func:`~repro.mesh.partition.partition_elements_balanced`
+        semantics). Ignored when ``partitions`` is given.
+    partitions:
+        Explicit element shards (1-D index arrays), one per CU; must
+        cover every mesh element exactly once.
+
+    Returns
+    -------
+    tuple[numpy.ndarray, SimulationTrace]
+        The finalized residual and the simulation trace (one run yields
+        both the functional result and the cycle count).
+
+    Raises
+    ------
+    ExperimentError
+        If ``block_size < 1``, a shard is empty, or the partitions do
+        not cover the mesh exactly.
     """
     if pipeline is None:
         pipeline = element_pipeline()
+    if block_size < 1:
+        raise ExperimentError("block_size must be >= 1")
+    num_elements = operator.mesh.num_elements
+    num_nodes = operator.mesh.num_nodes
+    if partitions is None:
+        if num_cus < 1:
+            raise ExperimentError("num_cus must be >= 1")
+        partitions = partition_elements_balanced(num_elements, num_cus)
+    else:
+        partitions = [np.asarray(part, dtype=np.int64) for part in partitions]
+    num_cus = len(partitions)
+    if any(part.size == 0 for part in partitions):
+        raise ExperimentError(
+            "every compute unit needs at least one element; fewer CUs "
+            "than elements required"
+        )
+    covered = np.sort(np.concatenate(partitions))
+    if covered.size != num_elements or not np.array_equal(
+        covered, np.arange(num_elements)
+    ):
+        raise ExperimentError(
+            "partitions must cover every mesh element exactly once"
+        )
+
     ctx = PipelineContext.from_operator(operator)
-    accumulator = np.zeros((NUM_CONSERVED, operator.mesh.num_nodes))
-    actions = streaming_actions(pipeline, ctx, stacked, accumulator)
-    graph = build_rkl_dataflow_graph(
-        design, operator.mesh.num_nodes, pipeline=pipeline, actions=actions
-    )
-    trace = DataflowSimulator(graph).run(operator.mesh.num_elements)
-    return operator.finalize_residual(accumulator), trace
+    nodes_per_cu = nodes_per_compute_unit(num_nodes, num_cus)
+    accumulators = [
+        np.zeros((NUM_CONSERVED, num_nodes)) for _ in partitions
+    ]
+    subgraphs: list[DataflowGraph] = []
+    iterations: dict[str, int] = {}
+    for cu, (part, accumulator) in enumerate(zip(partitions, accumulators)):
+        blocks = element_blocks(part, block_size)
+        actions = streaming_actions(
+            pipeline, ctx, stacked, accumulator, blocks=blocks
+        )
+        graph = build_rkl_dataflow_graph(
+            design,
+            nodes_per_cu,
+            pipeline=pipeline,
+            actions=actions,
+            block_sizes=(
+                None if block_size == 1 else [block.size for block in blocks]
+            ),
+            task_names=None if num_cus == 1 else _cu_task_names(cu),
+            name=(
+                f"rkl-{design.options.name}"
+                if num_cus == 1
+                else f"rkl-{design.options.name}-cu{cu}"
+            ),
+        )
+        for task_name in graph.tasks:
+            iterations[task_name] = len(blocks)
+        subgraphs.append(graph)
+    if num_cus == 1:
+        graph = subgraphs[0]
+    else:
+        graph = merge_graphs(
+            f"rkl-{design.options.name}-{num_cus}cu", subgraphs
+        )
+    trace = DataflowSimulator(graph).run(iterations)
+    # Reduce the per-CU partial residuals before finalization.
+    total = accumulators[0]
+    for accumulator in accumulators[1:]:
+        total = total + accumulator
+    return operator.finalize_residual(total), trace
 
 
 @dataclass
@@ -201,6 +463,13 @@ class CosimResult:
     #: Max-norm relative error of the streamed residual against the
     #: functional operator's, over all five conserved fields.
     residual_max_rel_err: float
+    #: Number of RKL compute units the element stream was sharded over.
+    num_compute_units: int = 1
+    #: Elements per simulated token (1 = element-at-a-time streaming).
+    block_size: int = 1
+    #: Per-CU drain cycles on the shared simulator clock; ``max()`` of
+    #: these is the RKL stage time of the sharded configuration.
+    per_cu_cycles: tuple[int, ...] = ()
 
     @property
     def cycle_agreement(self) -> float:
@@ -217,6 +486,8 @@ def cosimulate_small_mesh(
     backend: str | None = None,
     case=None,
     initial_state: FlowState | None = None,
+    block_size: int = 1,
+    num_cus: int = 1,
 ) -> CosimResult:
     """Run functional solve + payload-carrying cycle simulation on one mesh.
 
@@ -224,12 +495,44 @@ def cosimulate_small_mesh(
     the workload is real physics; the cycle-level trace validates the
     analytic extrapolation the experiments rely on; and the streamed
     residual (:func:`streamed_residual`, computed on the initial state)
-    proves both executions agree to rounding error. ``backend`` selects
-    the compute backend for both paths (``None`` defers to the
-    ``REPRO_BACKEND`` environment variable, then ``"reference"``);
-    ``case`` and ``initial_state`` select the physics (defaults: the TGV
-    case on its standard initial condition), so wall-bounded workloads
-    such as the channel shear flow co-simulate too.
+    proves both executions agree to rounding error.
+
+    Parameters
+    ----------
+    design:
+        Accelerator design point to co-simulate.
+    mesh:
+        The (small) mesh to stream; with ``block_size > 1`` meshes an
+        order of magnitude beyond the single-element streaming limit
+        stay tractable, because each simulated token computes a batched
+        element block instead of one element.
+    num_steps:
+        Time steps of the functional solve.
+    backend:
+        Compute backend for both paths (``None`` defers to the
+        ``REPRO_BACKEND`` environment variable, then ``"reference"``).
+    case / initial_state:
+        The physics (defaults: the TGV case on its standard initial
+        condition), so wall-bounded workloads such as the channel shear
+        flow co-simulate too.
+    block_size:
+        Elements per simulated token (see :func:`streamed_residual`).
+    num_cus:
+        Compute units the element stream is sharded over; the analytic
+        reference becomes the max over CUs of the per-CU block law, and
+        ``per_cu_cycles`` records each CU's drain cycle.
+
+    Returns
+    -------
+    CosimResult
+        Functional + timing outcome; ``residual_max_rel_err`` must sit
+        at rounding error for the co-simulation to be trusted.
+
+    Raises
+    ------
+    ExperimentError
+        On invalid ``block_size``/``num_cus`` (including more CUs than
+        elements).
     """
     from ..physics.taylor_green import DEFAULT_TGV
     from ..solver.simulation import Simulation
@@ -239,7 +542,13 @@ def cosimulate_small_mesh(
     sim = Simulation(mesh, case, backend=backend, initial_state=initial_state)
     initial_stacked = sim.state.as_stacked()
     expected = sim.operator.residual(initial_stacked)
-    streamed, trace = streamed_residual(design, sim.operator, initial_stacked)
+    streamed, trace = streamed_residual(
+        design,
+        sim.operator,
+        initial_stacked,
+        block_size=block_size,
+        num_cus=num_cus,
+    )
     scale = float(np.abs(expected).max())
     residual_err = float(np.abs(streamed - expected).max()) / (
         scale if scale > 0.0 else 1.0
@@ -247,12 +556,15 @@ def cosimulate_small_mesh(
 
     result = sim.run(num_steps)
 
-    if design.options.element_dataflow:
-        analytic = design.rkl_fill_cycles(mesh.num_nodes) + (
-            design.rkl_element_ii(mesh.num_nodes) * (mesh.num_elements - 1)
+    nodes_per_cu = nodes_per_compute_unit(mesh.num_nodes, num_cus)
+    analytic = max(
+        analytic_block_cycles(
+            design,
+            nodes_per_cu,
+            [block.size for block in element_blocks(part, block_size)],
         )
-    else:
-        analytic = design.rkl_element_ii(mesh.num_nodes) * mesh.num_elements
+        for part in partition_elements_balanced(mesh.num_elements, num_cus)
+    )
     return CosimResult(
         trace=trace,
         analytic_cycles=analytic,
@@ -260,4 +572,7 @@ def cosimulate_small_mesh(
         kinetic_energy=result.records[-1].kinetic_energy,
         mass_drift=result.mass_drift(),
         residual_max_rel_err=residual_err,
+        num_compute_units=num_cus,
+        block_size=block_size,
+        per_cu_cycles=per_cu_simulated_cycles(trace, num_cus),
     )

@@ -16,6 +16,16 @@ This module elaborates that design point from the same kernel models:
 - RKL time per stage becomes the max over CUs (near-halved);
 - RKU (whole-mesh update) is unchanged and grows in relative weight —
   the emerging Amdahl bottleneck the analysis surfaces.
+
+Two routes produce a :class:`MultiCUTiming`:
+
+- :func:`multi_cu_timing` — the closed-form model above;
+- :func:`multi_cu_timing_from_cosim` — the same quantity derived from a
+  *functional* multi-CU co-simulation
+  (:func:`repro.accel.cosim.cosimulate_small_mesh` with ``num_cus``):
+  the RKL stage time is the max drain cycle over the sharded task
+  graphs that computed a real residual, so the timing extension and the
+  physics share one execution.
 """
 
 from __future__ import annotations
@@ -34,9 +44,38 @@ from .designs import AcceleratorDesign, proposed_design
 MAX_COMPUTE_UNITS = 2
 
 
+def nodes_per_compute_unit(num_nodes: int, num_compute_units: int) -> int:
+    """Gather footprint of one CU's shard of the mesh.
+
+    Each CU streams its element share against its own DDR channels, so
+    its LOAD/STORE latencies are priced at its partition of the node
+    space. Shared by the closed-form :func:`multi_cu_timing` and the
+    co-simulation lowering (:mod:`repro.accel.cosim`) so the two routes
+    cannot silently diverge.
+    """
+    return max(1, round(num_nodes / num_compute_units))
+
+
 @dataclass(frozen=True)
 class MultiCUTiming:
-    """Per-step timing of an N-CU configuration."""
+    """Per-step timing of an N-CU configuration.
+
+    Attributes
+    ----------
+    num_compute_units:
+        RKL compute units the element stream is sharded over.
+    num_nodes:
+        Mesh size the timing was evaluated at.
+    clock_mhz:
+        Achieved clock of the multi-CU floorplan.
+    rkl_seconds_per_stage:
+        One RK stage of the spatial operator: the *max* over CUs (the
+        stage completes when the slowest shard drains).
+    rku_seconds_per_step:
+        The whole-mesh RKU update — unsharded, the Amdahl term.
+    num_stages:
+        RK stages per time step (the Butcher tableau's count).
+    """
 
     num_compute_units: int
     num_nodes: int
@@ -47,6 +86,7 @@ class MultiCUTiming:
 
     @property
     def rk_step_seconds(self) -> float:
+        """RKL (all stages) + RKU for one time step."""
         return (
             self.rkl_seconds_per_stage * self.num_stages
             + self.rku_seconds_per_step
@@ -58,7 +98,28 @@ def multi_cu_floorplan(
     num_compute_units: int,
     device: FPGADevice = ALVEO_U200,
 ):
-    """Place N RKL CUs on the DDR-attached SLRs, RKU on SLR1."""
+    """Place N RKL CUs on the DDR-attached SLRs, RKU on SLR1.
+
+    Parameters
+    ----------
+    base:
+        Design whose RKL/RKU resource vectors are replicated/placed.
+    num_compute_units:
+        RKL instances, ``1..MAX_COMPUTE_UNITS`` (one per DDR-attached
+        SLR).
+    device:
+        Target FPGA (defaults to the paper's Alveo U200).
+
+    Returns
+    -------
+    repro.fpga.floorplan.Floorplan
+        The planned placement (drives the achievable clock).
+
+    Raises
+    ------
+    ExperimentError
+        If ``num_compute_units`` is out of range.
+    """
     if not 1 <= num_compute_units <= MAX_COMPUTE_UNITS:
         raise ExperimentError(
             f"num_compute_units must be 1..{MAX_COMPUTE_UNITS}"
@@ -84,7 +145,32 @@ def multi_cu_timing(
     device: FPGADevice = ALVEO_U200,
     tableau: ButcherTableau = RK4,
 ) -> MultiCUTiming:
-    """Timing of the N-CU configuration at one mesh size."""
+    """Closed-form timing of the N-CU configuration at one mesh size.
+
+    Parameters
+    ----------
+    num_compute_units:
+        RKL compute units (``1..MAX_COMPUTE_UNITS``).
+    num_nodes:
+        Mesh nodes; elements are derived from the base design's
+        polynomial order and balanced across CUs.
+    base:
+        Base design point (defaults to the paper's proposed design).
+    device:
+        Target FPGA for the floorplan/clock.
+    tableau:
+        RK tableau supplying the per-step stage count.
+
+    Returns
+    -------
+    MultiCUTiming
+        Per-step timing with RKL as the max over CUs and unsharded RKU.
+
+    Raises
+    ------
+    ExperimentError
+        If ``num_nodes < 1`` or the CU count is out of range.
+    """
     if num_nodes < 1:
         raise ExperimentError("num_nodes must be >= 1")
     base = base if base is not None else proposed_design()
@@ -94,9 +180,7 @@ def multi_cu_timing(
 
     num_elements = max(1, round(num_nodes / base.rkl.polynomial_order**3))
     per_cu = math.ceil(num_elements / num_compute_units)
-    # Each CU streams its share against its own DDR channel pair; the
-    # gather footprint per CU is its partition of the mesh.
-    nodes_per_cu = max(1, round(num_nodes / num_compute_units))
+    nodes_per_cu = nodes_per_compute_unit(num_nodes, num_compute_units)
     stage_cycles = base.rkl_fill_cycles(nodes_per_cu) + (
         base.rkl_element_ii(nodes_per_cu) * (per_cu - 1)
     )
@@ -111,11 +195,85 @@ def multi_cu_timing(
     )
 
 
+def multi_cu_timing_from_cosim(
+    result,
+    num_nodes: int,
+    base: AcceleratorDesign | None = None,
+    device: FPGADevice = ALVEO_U200,
+    tableau: ButcherTableau = RK4,
+) -> MultiCUTiming:
+    """Derive :class:`MultiCUTiming` from a multi-CU co-simulation.
+
+    This is the unification of the timing extension with the functional
+    co-simulator: instead of the closed-form element-II model, the RKL
+    stage time comes from the *simulated* task graphs that streamed real
+    element blocks — the max drain cycle over compute units on the
+    shared simulator clock (``result.per_cu_cycles``). Clock and RKU are
+    shared with :func:`multi_cu_timing` (the RKU update is not part of
+    the streamed RKL graph), so the two routes are directly comparable
+    and must agree at block size 1 — asserted by the test suite.
+
+    Parameters
+    ----------
+    result:
+        A :class:`repro.accel.cosim.CosimResult` from
+        :func:`repro.accel.cosim.cosimulate_small_mesh` run with
+        ``num_cus`` — anything exposing ``num_compute_units`` and
+        non-empty ``per_cu_cycles`` works.
+    num_nodes:
+        Mesh nodes of the co-simulated mesh (for the RKU term).
+    base:
+        Base design point (defaults to the paper's proposed design);
+        must be the design the co-simulation ran.
+    device:
+        Target FPGA for the floorplan/clock.
+    tableau:
+        RK tableau supplying the per-step stage count.
+
+    Returns
+    -------
+    MultiCUTiming
+        Timing whose RKL stage seconds are simulated, not modeled.
+
+    Raises
+    ------
+    ExperimentError
+        If ``result`` carries no per-CU cycles or ``num_nodes < 1``.
+    """
+    if num_nodes < 1:
+        raise ExperimentError("num_nodes must be >= 1")
+    if not result.per_cu_cycles:
+        raise ExperimentError(
+            "result carries no per-CU cycles; run cosimulate_small_mesh "
+            "with num_cus set"
+        )
+    base = base if base is not None else proposed_design()
+    num_compute_units = result.num_compute_units
+    plan = multi_cu_floorplan(base, num_compute_units, device)
+    clock = clock_for_floorplan(plan)
+    hz = clock * 1e6
+    stage_cycles = max(result.per_cu_cycles)
+    return MultiCUTiming(
+        num_compute_units=num_compute_units,
+        num_nodes=num_nodes,
+        clock_mhz=clock,
+        rkl_seconds_per_stage=seconds_from_cycles(stage_cycles, hz),
+        rku_seconds_per_step=seconds_from_cycles(
+            base.rku_step_cycles(num_nodes), hz
+        ),
+        num_stages=tableau.num_stages,
+    )
+
+
 def scaling_table(
     num_nodes: int,
     base: AcceleratorDesign | None = None,
 ) -> list[MultiCUTiming]:
-    """Timing at 1..MAX CUs for one mesh size."""
+    """Closed-form timing at 1..MAX CUs for one mesh size.
+
+    Returns one :func:`multi_cu_timing` row per CU count, ready for
+    :func:`render_scaling_table`.
+    """
     base = base if base is not None else proposed_design()
     return [
         multi_cu_timing(cus, num_nodes, base)
@@ -124,7 +282,11 @@ def scaling_table(
 
 
 def render_scaling_table(timings: list[MultiCUTiming]) -> str:
-    """Readable CU-scaling table with the Amdahl split."""
+    """Readable CU-scaling table with the Amdahl split.
+
+    ``timings`` must be non-empty; the first row is the speedup
+    baseline.
+    """
     lines = [
         f"Multi-CU scaling at {timings[0].num_nodes} nodes",
         f"{'CUs':>4} {'clock':>7} {'RKL s/stage':>13} {'RKU s/step':>12} "

@@ -16,7 +16,7 @@ the pipeline's Initiation Interval (II). This package provides:
 
 from .task import Task, TaskStats
 from .buffer import Buffer, BufferKind, fifo, pipo
-from .graph import DataflowGraph
+from .graph import DataflowGraph, merge_graphs
 from .simulator import DataflowSimulator, SimulationTrace
 from .analysis import (
     theoretical_initiation_interval,
@@ -34,6 +34,7 @@ __all__ = [
     "fifo",
     "pipo",
     "DataflowGraph",
+    "merge_graphs",
     "DataflowSimulator",
     "SimulationTrace",
     "theoretical_initiation_interval",

@@ -170,3 +170,25 @@ class DataflowGraph:
                 f"in=[{ins}] out=[{outs}]"
             )
         return "\n".join(lines)
+
+
+def merge_graphs(name: str, graphs: list[DataflowGraph]) -> DataflowGraph:
+    """Combine disjoint task graphs into one graph under one clock.
+
+    The merged graph holds every task and buffer of the inputs; task and
+    buffer names must be globally unique (a multi-CU lowering prefixes
+    them per compute unit). Simulating the merged graph runs all
+    component pipelines against a single cycle counter — this is how
+    sharded compute units co-simulate concurrently, with the trace's
+    ``total_cycles`` the cycle the slowest shard drains.
+
+    Raises :class:`~repro.errors.DataflowValidationError` on any name
+    collision across the inputs.
+    """
+    merged = DataflowGraph(name=name)
+    for graph in graphs:
+        for task in graph.tasks.values():
+            merged.add_task(task)
+        for buffer in graph.buffers.values():
+            merged.add_buffer(buffer)
+    return merged

@@ -27,6 +27,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import deque
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 
 from ..errors import DataflowError, DeadlockError
@@ -39,6 +40,9 @@ class SimulationTrace:
     """Result of one cycle-level run."""
 
     graph_name: str
+    #: Max per-task iteration count — the token count of the longest
+    #: chain when tasks ran uneven counts (per-task actuals are in
+    #: ``task_stats[...].iterations_completed``).
     iterations: int
     total_cycles: int
     task_stats: dict[str, TaskStats] = field(default_factory=dict)
@@ -69,14 +73,19 @@ class SimulationTrace:
 
     def report(self) -> str:
         """Human-readable per-task table."""
+        uneven = len(
+            {st.iterations_completed for st in self.task_stats.values()}
+        ) > 1
         lines = [
             f"dataflow simulation of {self.graph_name!r}: "
-            f"{self.iterations} iterations in {self.total_cycles} cycles",
-            "task                           busy   in-stall  out-stall  occupancy",
+            f"{'up to ' if uneven else ''}{self.iterations} iterations "
+            f"in {self.total_cycles} cycles",
+            "task                            iters     busy   in-stall  out-stall  occupancy",
         ]
         for name, st in self.task_stats.items():
             lines.append(
-                f"{name:<28} {st.busy_cycles:>8} {st.input_stall_cycles:>9} "
+                f"{name:<28} {st.iterations_completed:>8} "
+                f"{st.busy_cycles:>8} {st.input_stall_cycles:>9} "
                 f"{st.output_stall_cycles:>10} {st.occupancy:>9.3f}"
             )
         return "\n".join(lines)
@@ -89,16 +98,42 @@ class DataflowSimulator:
         graph.validate()
         self.graph = graph
 
-    def run(self, iterations: int, max_cycles: int | None = None) -> SimulationTrace:
-        """Simulate ``iterations`` tokens through the pipeline.
+    def run(
+        self,
+        iterations: int | Mapping[str, int],
+        max_cycles: int | None = None,
+    ) -> SimulationTrace:
+        """Simulate tokens through the pipeline.
+
+        ``iterations`` is either one count applied to every task (a
+        single pipeline processing that many tokens) or a mapping from
+        task name to its own count. Per-task counts are what let several
+        disconnected task chains — the sharded compute units of a
+        multi-CU co-simulation — run under *one* simulator clock even
+        when their shards are uneven: each chain retires its own token
+        count and the trace's ``total_cycles`` is the cycle the last
+        chain drains. A mapping must cover every task in the graph.
 
         ``max_cycles`` bounds runaway simulations (a safety net for
         data-dependent latency models); exceeding it raises
         :class:`DataflowError`.
         """
-        if iterations < 1:
-            raise DataflowError("iterations must be >= 1")
         graph = self.graph
+        if isinstance(iterations, Mapping):
+            missing = [n for n in graph.tasks if n not in iterations]
+            if missing:
+                raise DataflowError(
+                    f"graph {graph.name!r}: no iteration count for "
+                    f"task(s) {sorted(missing)}"
+                )
+            counts = {name: int(iterations[name]) for name in graph.tasks}
+        else:
+            counts = {name: int(iterations) for name in graph.tasks}
+        for name, count in counts.items():
+            if count < 1:
+                raise DataflowError(
+                    f"task {name!r}: iterations must be >= 1, got {count}"
+                )
         occupancy: dict[str, int] = {name: 0 for name in graph.buffers}
         committed: dict[str, int] = {name: 0 for name in graph.buffers}
         started: dict[str, int] = {name: 0 for name in graph.tasks}
@@ -132,7 +167,7 @@ class DataflowSimulator:
             """Whether the task may start its next iteration; reason if not."""
             if name in busy:
                 return False, "busy"
-            if started[name] >= iterations:
+            if started[name] >= counts[name]:
                 return False, "done"
             for buf in inputs[name]:
                 if committed[buf.name] < 1:
@@ -183,7 +218,7 @@ class DataflowSimulator:
                         st.output_stall_cycles += now - stall_since_output[name]
                         stall_since_output[name] = None
                     progressed = True
-                elif reason in ("input", "output") and started[name] < iterations:
+                elif reason in ("input", "output") and started[name] < counts[name]:
                     key = (
                         stall_since_input
                         if reason == "input"
@@ -211,14 +246,14 @@ class DataflowSimulator:
             st.last_finish = now
             st.finish_times.append(now)
 
-        total_needed = iterations * len(graph.tasks)
+        total_needed = sum(counts.values())
         try_start_all()
         while sum(finished.values()) < total_needed:
             if not events:
                 stuck = [
                     name
                     for name in graph.tasks
-                    if finished[name] < iterations
+                    if finished[name] < counts[name]
                 ]
                 raise DeadlockError(
                     f"graph {graph.name!r}: deadlock at cycle {now}; "
@@ -239,7 +274,7 @@ class DataflowSimulator:
 
         return SimulationTrace(
             graph_name=graph.name,
-            iterations=iterations,
+            iterations=max(counts.values()),
             total_cycles=now,
             task_stats=stats,
             sink_results=sink_results,

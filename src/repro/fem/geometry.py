@@ -158,6 +158,25 @@ class ElementGeometry:
             _quad_scale=None if cached is None else cached[sl],
         )
 
+    def block_view(self, indices: np.ndarray) -> "ElementGeometry":
+        """Metric terms of an element block, shape ``(B, ...)``.
+
+        ``indices`` is a 1-D array of element ids (need not be
+        contiguous — a CU's shard may be any subset). Fancy indexing
+        copies the block's metric rows, which is what the accelerator's
+        batched LOAD does anyway: the block working set is staged into
+        on-chip memory before COMPUTE consumes it.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        cached = self._quad_scale
+        return ElementGeometry(
+            jacobian=self.jacobian[indices],
+            inverse_jacobian=self.inverse_jacobian[indices],
+            det_jacobian=self.det_jacobian[indices],
+            is_affine=self.is_affine,
+            _quad_scale=None if cached is None else cached[indices],
+        )
+
     def memory_footprint_values(self) -> int:
         """Number of scalar metric values held (for workload accounting)."""
         return int(

@@ -33,7 +33,11 @@ from .metrics import (
     MeshQualityReport,
 )
 from .boundary import BoundaryTag, tag_box_boundaries, periodic_image_map
-from .partition import partition_elements_contiguous, partition_elements_balanced
+from .partition import (
+    element_blocks,
+    partition_elements_balanced,
+    partition_elements_contiguous,
+)
 from .io import save_mesh, load_mesh
 
 __all__ = [
@@ -55,6 +59,7 @@ __all__ = [
     "BoundaryTag",
     "tag_box_boundaries",
     "periodic_image_map",
+    "element_blocks",
     "partition_elements_contiguous",
     "partition_elements_balanced",
     "save_mesh",

@@ -31,6 +31,41 @@ def partition_elements_contiguous(num_elements: int, batch_size: int) -> list[np
     ]
 
 
+def element_blocks(elements: np.ndarray, block_size: int) -> list[np.ndarray]:
+    """Split an element-index array into blocks of at most ``block_size``.
+
+    Parameters
+    ----------
+    elements:
+        1-D array of element indices (any order; a CU's shard of the
+        mesh). Order is preserved within and across blocks.
+    block_size:
+        Maximum elements per block; the final block may be short when
+        ``block_size`` does not divide ``len(elements)``.
+
+    Returns
+    -------
+    list[numpy.ndarray]
+        The consecutive blocks. These are the payload-carrying *tokens*
+        of the batched streaming co-simulation: one simulator iteration
+        moves one block through the Load-Compute-Store pipeline.
+
+    Raises
+    ------
+    MeshError
+        If ``block_size < 1`` or ``elements`` is not 1-D.
+    """
+    elements = np.asarray(elements, dtype=np.int64)
+    if block_size < 1:
+        raise MeshError("block_size must be >= 1")
+    if elements.ndim != 1:
+        raise MeshError("elements must be a 1-D index array")
+    return [
+        elements[start : start + block_size]
+        for start in range(0, elements.size, block_size)
+    ]
+
+
 def partition_elements_balanced(num_elements: int, num_parts: int) -> list[np.ndarray]:
     """Split elements into ``num_parts`` near-equal contiguous parts.
 

@@ -11,8 +11,8 @@ per-stage operation counts from it. Fusion levels are graph rewrites.
   :class:`PipelineContext`;
 - :mod:`repro.pipeline.navier_stokes` — the NS pipeline instances;
 - :mod:`repro.pipeline.rewrites` — gather-sharing and flux fusion;
-- :mod:`repro.pipeline.executor` — functional, per-branch and streaming
-  execution;
+- :mod:`repro.pipeline.executor` — functional, per-branch and
+  (block-)streaming execution;
 - :mod:`repro.pipeline.opcounts` — per-stage operation counts.
 """
 

@@ -7,9 +7,10 @@ Three execution styles over one IR:
   each stage attributed to its profiler phase;
 - :func:`element_residuals` — compute-only execution on an already
   gathered element state (the solver's per-pass diagnostics helpers);
-- :func:`streaming_actions` — per-element payload-carrying actions for
-  the cycle-accurate dataflow simulator: the co-simulator prices *and
-  computes* the same stages, one element per pipeline iteration.
+- :func:`streaming_actions` — payload-carrying actions for the
+  cycle-accurate dataflow simulator: the co-simulator prices *and
+  computes* the same stages, one element *block* per pipeline iteration
+  (block size 1 recovers element-at-a-time streaming).
 """
 
 from __future__ import annotations
@@ -51,9 +52,28 @@ def run_pipeline(
 ) -> dict[str, np.ndarray]:
     """Execute the whole pipeline functionally; returns its output payloads.
 
-    ``inputs`` must bind every external payload (for the NS pipelines:
-    ``{"state": (5, N)}``). With a profiler, each stage runs inside its
-    declared phase so the paper's Fig. 2 attribution emerges from the IR.
+    Parameters
+    ----------
+    pipeline / ctx:
+        The stage graph and the bound execution context.
+    inputs:
+        Must bind every external payload (for the NS pipelines:
+        ``{"state": (5, N)}``).
+    profiler:
+        Optional :class:`~repro.solver.profiler.PhaseProfiler`; each
+        stage runs inside its declared phase so the paper's Fig. 2
+        attribution emerges from the IR.
+
+    Returns
+    -------
+    dict[str, numpy.ndarray]
+        The pipeline's output payloads by name.
+
+    Raises
+    ------
+    PipelineError
+        On unbound external payloads, unknown kernels, or a kernel
+        returning the wrong payload count.
     """
     missing = [n for n in pipeline.external_inputs() if n not in inputs]
     if missing:
@@ -85,7 +105,11 @@ def run_pipeline(
 
 
 def assembled_total(outputs: Mapping[str, np.ndarray]) -> np.ndarray:
-    """Sum of a pipeline's assembled ``(5, N)`` output payloads."""
+    """Sum of a pipeline's assembled ``(5, N)`` output payloads.
+
+    Raises :class:`~repro.errors.PipelineError` when ``outputs`` is
+    empty (a pipeline that produced nothing).
+    """
     total: np.ndarray | None = None
     for value in outputs.values():
         total = value if total is None else total + value
@@ -131,7 +155,7 @@ def element_residuals(
 
 
 # ---------------------------------------------------------------------------
-# Streaming (one element per pipeline iteration) for co-simulation
+# Streaming (one element block per pipeline iteration) for co-simulation
 # ---------------------------------------------------------------------------
 
 Action = Callable[[int, tuple], object]
@@ -142,17 +166,54 @@ def streaming_actions(
     ctx: PipelineContext,
     state: np.ndarray,
     accumulator: np.ndarray,
+    blocks: Sequence[np.ndarray] | None = None,
 ) -> dict[str, Action]:
     """Payload-carrying task actions for the element dataflow graph.
 
-    Returns one action per role group (keyed ``"load"`` / ``"compute"``
-    / ``"store"``) for :meth:`OperatorPipeline.to_task_graph`. Each
-    action executes its group's stages on element ``iteration`` only,
-    passing the payloads that cross group boundaries through the
-    simulated inter-task buffers as dicts; the store group assembles
-    every element contribution into ``accumulator`` (shape ``(5, N)``).
+    Parameters
+    ----------
+    pipeline:
+        The operator pipeline whose role groups become the simulated
+        LOAD / COMPUTE / STORE tasks.
+    ctx:
+        Bound execution context (connectivity, metric terms, backend)
+        covering the whole mesh; each iteration takes a block view.
+    state:
+        Global stacked state ``(5, N)`` every LOAD gathers from.
+    accumulator:
+        Output array ``(5, N)`` the STORE group assembles element
+        contributions into. For a sharded (multi-CU) run, pass one
+        accumulator per CU and sum them afterwards — that sum is the
+        reduction of the per-CU partial residuals.
+    blocks:
+        Element-index arrays, one per simulator iteration (see
+        :func:`repro.mesh.partition.element_blocks`); ``None`` means one
+        single-element block per mesh element — the pre-batching
+        behaviour. Token ``i`` of the simulation carries block ``i``.
+
+    Returns
+    -------
+    dict[str, Action]
+        One action per role group (keyed ``"load"`` / ``"compute"`` /
+        ``"store"``) for :meth:`OperatorPipeline.to_task_graph`. Each
+        action executes its group's stages on block ``iteration`` only,
+        passing the payloads that cross group boundaries through the
+        simulated inter-task buffers as dicts.
+
+    Raises
+    ------
+    PipelineError
+        If the pipeline does not have exactly one external payload (the
+        global state) or its role grouping is not a legal task chain.
     """
     state = np.asarray(state, dtype=np.float64)
+    if blocks is None:
+        blocks = [
+            np.array([index], dtype=np.int64)
+            for index in range(ctx.num_elements)
+        ]
+    else:
+        blocks = [np.asarray(block, dtype=np.int64) for block in blocks]
     groups = pipeline.role_groups()
     group_index = {
         stage.name: idx
@@ -187,21 +248,24 @@ def streaming_actions(
             exported=exported,
             role=role,
         ):
-            ectx = ctx.element(iteration)
+            ectx = ctx.element_block(blocks[iteration])
             env: dict[str, np.ndarray] = {state_payload: state}
             for payload in inputs:
                 env.update(payload)
             if role == "store":
                 # The STORE kernel's read-modify-write, restricted to the
-                # element's own nodes: an element touches Q nodes, so the
-                # dense (5, N) scatter the batched kernel produces would
-                # make streaming quadratic in mesh size.
+                # block's own nodes: a block touches B*Q node slots, so
+                # the dense (5, N) scatter the batched kernel produces
+                # would make streaming quadratic in mesh size.
                 for stage in stages:
-                    res = env[stage.inputs[0]]  # (F, 1, Q)
+                    res = env[stage.inputs[0]]  # (F, B, Q)
                     start = int(stage.param("field_start", 0))
-                    nodes = ectx.connectivity[0]
                     for field in range(res.shape[0]):
-                        np.add.at(accumulator[start + field], nodes, res[field, 0])
+                        np.add.at(
+                            accumulator[start + field],
+                            ectx.connectivity,
+                            res[field],
+                        )
                 return None
             for stage in stages:
                 _run_stage(ectx, stage, env)

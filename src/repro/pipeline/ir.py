@@ -30,7 +30,7 @@ stages by role, which re-establishes the paper's SPSC discipline.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Mapping
+from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
 
 from ..dataflow.graph import DataflowGraph
@@ -283,20 +283,59 @@ class OperatorPipeline:
         task_names: Mapping[str, str] | None = None,
         actions: Mapping[str, Callable[[int, tuple], object]] | None = None,
         name: str | None = None,
+        block_sizes: Sequence[int] | None = None,
     ) -> DataflowGraph:
         """Lower the pipeline to a cycle-accurate dataflow task graph.
 
-        ``stage_cycles`` gives per-stage latencies (see
-        :meth:`repro.accel.designs.AcceleratorDesign.pipeline_stage_cycles`);
-        stages grouped into one role task contribute the *sum* of their
-        cycles, so group totals match the analytic role latencies.
-        ``actions`` optionally attaches payload-carrying execution per
-        role (functional co-simulation); ``task_names`` renames the role
-        tasks (defaults to :data:`DEFAULT_TASK_NAMES`).
+        Parameters
+        ----------
+        stage_cycles:
+            Per-stage latency estimates in cycles (see
+            :meth:`repro.accel.designs.AcceleratorDesign.pipeline_stage_cycles`);
+            stages grouped into one role task contribute the *sum* of
+            their cycles, so group totals match the analytic role
+            latencies.
+        task_names:
+            Renames the role tasks (defaults to
+            :data:`DEFAULT_TASK_NAMES`); multi-CU lowering prefixes the
+            names per compute unit so shards coexist in one graph.
+        actions:
+            Optional payload-carrying execution per role (functional
+            co-simulation, see
+            :func:`repro.pipeline.executor.streaming_actions`).
+        name:
+            Graph name (defaults to ``pipeline-<pipeline name>``).
+        block_sizes:
+            When tokens carry element *blocks*, the number of elements
+            in each block token. Task latency then becomes
+            iteration-dependent — the per-element role latency scaled by
+            that iteration's block size — so the block pipeline keeps
+            the ``fill + II * (tokens - 1)`` cycle law with the II
+            scaled per block. ``None`` keeps one-element tokens with
+            constant latency.
+
+        Returns
+        -------
+        DataflowGraph
+            A linear LOAD -> COMPUTE -> STORE task chain wired with PIPO
+            buffers.
+
+        Raises
+        ------
+        PipelineError
+            If any stage lacks a cycle estimate, a block size is < 1, or
+            the role grouping violates the sequential-transfer rules.
         """
         names = dict(DEFAULT_TASK_NAMES)
         if task_names:
             names.update(task_names)
+        if block_sizes is not None:
+            block_sizes = [int(size) for size in block_sizes]
+            if any(size < 1 for size in block_sizes):
+                raise PipelineError(
+                    f"pipeline {self.name!r}: block sizes must be >= 1, "
+                    f"got {block_sizes}"
+                )
         graph = DataflowGraph(name=name or f"pipeline-{self.name}")
         tasks: list[Task] = []
         for role, stages in self.role_groups():
@@ -306,9 +345,20 @@ class OperatorPipeline:
                     f"pipeline {self.name!r}: no cycle estimate for "
                     f"stage(s) {missing}"
                 )
-            latency = max(
-                1, round(sum(stage_cycles[s.name] for s in stages))
-            )
+            per_element = sum(stage_cycles[s.name] for s in stages)
+            if block_sizes is None:
+                latency: int | Callable[[int], int] = max(
+                    1, round(per_element)
+                )
+            else:
+
+                def latency(
+                    iteration: int,
+                    cycles=per_element,
+                    sizes=block_sizes,
+                ) -> int:
+                    return max(1, round(cycles * sizes[iteration]))
+
             tasks.append(
                 Task(
                     names.get(role, role),

@@ -4,7 +4,8 @@ Each kernel is a pure function ``fn(ctx, stage, *inputs) -> (outputs,)``
 operating on batched element arrays (``(F, E, Q)`` fields,
 ``(F, E, Q, 3)`` fluxes). They are shape-polymorphic over the element
 axis, so the same kernel serves the solver's whole-mesh evaluation and
-the co-simulator's one-element-at-a-time streaming
+the co-simulator's streaming at any granularity — an element block
+(:meth:`PipelineContext.element_block`) or a single element
 (:meth:`PipelineContext.element`).
 
 All array work routes through the context's
@@ -98,6 +99,31 @@ class PipelineContext:
             self,
             connectivity=self.connectivity[index : index + 1],
             geom=self.geom.element_view(index),
+        )
+
+    def element_block(self, indices: np.ndarray) -> "PipelineContext":
+        """Block view of the context (batched streaming co-simulation).
+
+        Parameters
+        ----------
+        indices:
+            1-D array of element ids forming one block token. The ids
+            need not be contiguous: a compute unit's shard of the mesh
+            is whatever :func:`repro.mesh.partition` handed it.
+
+        Returns
+        -------
+        PipelineContext
+            Context whose connectivity and metric terms cover exactly
+            the block's elements (shape ``(B, ...)`` on the element
+            axis); ``num_nodes`` stays global so STORE still assembles
+            into the full node space.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        return replace(
+            self,
+            connectivity=self.connectivity[indices],
+            geom=self.geom.block_view(indices),
         )
 
 

@@ -150,9 +150,25 @@ def _cached_pipeline(fusion: str) -> OperatorPipeline:
 def navier_stokes_pipeline(fusion: str = "none") -> OperatorPipeline:
     """The NS operator pipeline at the requested fusion level.
 
-    Construction is cached, but every call returns its own shallow copy
-    (stages are immutable records): a caller mutating its pipeline —
-    adding an experimental stage, say — cannot corrupt other operators.
+    Parameters
+    ----------
+    fusion:
+        One of :data:`FUSIONS` — ``"none"`` (two independent passes),
+        ``"gather"`` (shared LOAD), or ``"full"`` (merged
+        flux/divergence/store).
+
+    Returns
+    -------
+    OperatorPipeline
+        Construction is cached, but every call returns its own shallow
+        copy (stages are immutable records): a caller mutating its
+        pipeline — adding an experimental stage, say — cannot corrupt
+        other operators.
+
+    Raises
+    ------
+    PipelineError
+        On an unknown fusion level.
     """
     cached = _cached_pipeline(fusion)
     return OperatorPipeline(

@@ -32,7 +32,21 @@ from .ir import OperatorPipeline, Stage
 
 
 def stage_op_count(stage: Stage, polynomial_order: int) -> OpCount:
-    """Per-element :class:`~repro.opcount.OpCount` of one stage."""
+    """Per-element :class:`~repro.opcount.OpCount` of one stage.
+
+    Parameters
+    ----------
+    stage:
+        The stage whose kernel is priced; ``num_fields`` in its params
+        scales the field-proportional kernels.
+    polynomial_order:
+        Element order ``p`` (``(p + 1)**3`` nodes per element).
+
+    Raises
+    ------
+    PipelineError
+        If the stage's kernel has no op-count model.
+    """
     n1 = polynomial_order + 1
     q = n1**3
     fields = int(stage.param("num_fields", NUM_FIELDS))
@@ -71,7 +85,11 @@ def stage_op_count(stage: Stage, polynomial_order: int) -> OpCount:
 def pipeline_op_counts(
     pipeline: OperatorPipeline, polynomial_order: int
 ) -> dict[str, OpCount]:
-    """Per-element op counts for every stage, keyed by stage name."""
+    """Per-element op counts for every stage, keyed by stage name.
+
+    Raises :class:`~repro.errors.PipelineError` when a stage kernel has
+    no op-count model (see :func:`stage_op_count`).
+    """
     return {
         stage.name: stage_op_count(stage, polynomial_order)
         for stage in pipeline.topological_order()

@@ -48,8 +48,29 @@ def share_loads(
 ) -> OperatorPipeline:
     """Merge LOAD stages with identical kernel+inputs into one.
 
-    The shared gather's phase defaults to ``rk.other`` because its cost
-    can no longer be attributed to either paper phase (Fig. 2).
+    Parameters
+    ----------
+    pipeline:
+        Pipeline to rewrite (left untouched; a copy is returned).
+    shared_name / shared_payload:
+        Name of the merged LOAD stage and of the single gathered-state
+        payload it produces.
+    phase:
+        Profiler phase of the shared gather — defaults to ``rk.other``
+        because its cost can no longer be attributed to either paper
+        phase (Fig. 2).
+
+    Returns
+    -------
+    OperatorPipeline
+        The rewritten pipeline (an unchanged copy when there are fewer
+        than two LOAD stages).
+
+    Raises
+    ------
+    PipelineError
+        If the LOAD stages differ in kernel, inputs, or params — a
+        shared gather would change semantics.
     """
     loads = [s for s in pipeline.stages if s.role == "load"]
     if len(loads) < 2:
@@ -113,6 +134,26 @@ def fuse_flux_divergence(
     one scatter instead of two, exactly the accelerator's merged module.
     Linearity of the weak divergence makes the result the exact sum of
     the separate branches (up to rounding).
+
+    Parameters
+    ----------
+    pipeline:
+        Pipeline to rewrite (left untouched; a copy is returned).
+    phase:
+        Profiler phase the fused stages are attributed to.
+
+    Returns
+    -------
+    OperatorPipeline
+        The fused pipeline (LOAD -> combined flux -> divergence ->
+        store).
+
+    Raises
+    ------
+    PipelineError
+        If no combined kernel is registered for the pipeline's flux
+        stages, the branches read different payloads (gather not
+        shared), or there is nothing to fuse.
     """
     flux_stages = [
         s

@@ -6,6 +6,7 @@ from repro.accel.multi_cu import (
     MAX_COMPUTE_UNITS,
     multi_cu_floorplan,
     multi_cu_timing,
+    multi_cu_timing_from_cosim,
     render_scaling_table,
     scaling_table,
 )
@@ -69,3 +70,49 @@ class TestScaling:
     def test_invalid_nodes(self, proposed):
         with pytest.raises(ExperimentError):
             multi_cu_timing(1, 0, proposed)
+
+
+class TestTimingFromCosim:
+    """The co-simulated route to MultiCUTiming (agreement with the
+    closed form is asserted in tests/accel/test_cosim.py, next to the
+    co-simulation itself)."""
+
+    def test_rku_and_clock_shared_with_closed_form(self, proposed):
+        from repro.accel.cosim import cosimulate_small_mesh
+        from repro.mesh.hexmesh import periodic_box_mesh
+
+        mesh = periodic_box_mesh(2, 2)
+        result = cosimulate_small_mesh(proposed, mesh, num_steps=1, num_cus=2)
+        derived = multi_cu_timing_from_cosim(result, mesh.num_nodes, proposed)
+        analytic = multi_cu_timing(2, mesh.num_nodes, proposed)
+        assert derived.num_compute_units == 2
+        assert derived.clock_mhz == pytest.approx(analytic.clock_mhz)
+        assert derived.rku_seconds_per_step == pytest.approx(
+            analytic.rku_seconds_per_step
+        )
+
+    def test_rejects_result_without_cycles(self, proposed):
+        from repro.accel.cosim import CosimResult
+
+        empty = CosimResult(
+            trace=None,
+            analytic_cycles=1.0,
+            simulated_cycles=1,
+            kinetic_energy=0.0,
+            mass_drift=0.0,
+            residual_max_rel_err=0.0,
+        )
+        with pytest.raises(ExperimentError):
+            multi_cu_timing_from_cosim(empty, 1000, proposed)
+        ok = CosimResult(
+            trace=None,
+            analytic_cycles=1.0,
+            simulated_cycles=1,
+            kinetic_energy=0.0,
+            mass_drift=0.0,
+            residual_max_rel_err=0.0,
+            num_compute_units=1,
+            per_cu_cycles=(100,),
+        )
+        with pytest.raises(ExperimentError):
+            multi_cu_timing_from_cosim(ok, 0, proposed)

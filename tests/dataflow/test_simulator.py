@@ -53,6 +53,56 @@ class TestSteadyState:
         assert trace.total_cycles >= 6 * 5 + 10 * 5
 
 
+class TestPerTaskIterations:
+    """Mapping iteration counts: sharded chains under one clock."""
+
+    def merged_two_chains(self, lat_a=(5, 7, 3), lat_b=(5, 7, 3)):
+        from repro.dataflow.graph import merge_graphs
+
+        ga = DataflowGraph("cu0")
+        ga.chain([Task(f"cu0.t{i}", lat) for i, lat in enumerate(lat_a)])
+        gb = DataflowGraph("cu1")
+        gb.chain([Task(f"cu1.t{i}", lat) for i, lat in enumerate(lat_b)])
+        return merge_graphs("both", [ga, gb])
+
+    def test_uneven_counts_drain_independently(self):
+        g = self.merged_two_chains()
+        counts = {name: (14 if name.startswith("cu0") else 13) for name in g.tasks}
+        trace = DataflowSimulator(g).run(counts)
+        assert trace.stats("cu0.t2").iterations_completed == 14
+        assert trace.stats("cu1.t2").iterations_completed == 13
+        # the shared clock stops when the slower shard drains
+        assert trace.total_cycles == trace.stats("cu0.t2").last_finish
+
+    def test_matches_single_chain_runs(self):
+        """Each merged shard finishes exactly when it would alone."""
+        g = self.merged_two_chains(lat_a=(4, 9, 2), lat_b=(6, 3, 8))
+        counts = {name: (10 if name.startswith("cu0") else 7) for name in g.tasks}
+        trace = DataflowSimulator(g).run(counts)
+        solo_a = DataflowSimulator(chain((4, 9, 2))).run(10)
+        solo_b = DataflowSimulator(chain((6, 3, 8))).run(7)
+        assert trace.stats("cu0.t2").last_finish == solo_a.total_cycles
+        assert trace.stats("cu1.t2").last_finish == solo_b.total_cycles
+        assert trace.total_cycles == max(solo_a.total_cycles, solo_b.total_cycles)
+
+    def test_int_count_equals_uniform_mapping(self):
+        g = chain((5, 7, 3))
+        by_int = DataflowSimulator(g).run(9)
+        g2 = chain((5, 7, 3))
+        by_map = DataflowSimulator(g2).run({f"t{i}": 9 for i in range(3)})
+        assert by_int.total_cycles == by_map.total_cycles
+
+    def test_mapping_must_cover_every_task(self):
+        g = chain((5, 7, 3))
+        with pytest.raises(DataflowError):
+            DataflowSimulator(g).run({"t0": 3, "t1": 3})
+
+    def test_mapping_rejects_non_positive_count(self):
+        g = chain((5, 7, 3))
+        with pytest.raises(DataflowError):
+            DataflowSimulator(g).run({"t0": 3, "t1": 0, "t2": 3})
+
+
 class TestStallAccounting:
     def test_fast_consumer_stalls_on_input(self):
         g = chain((20, 2))

@@ -7,10 +7,38 @@ from repro.errors import MeshError
 from repro.mesh.hexmesh import periodic_box_mesh
 from repro.mesh.partition import (
     batch_node_working_set,
+    element_blocks,
     partition_elements_balanced,
     partition_elements_contiguous,
     reuse_factor,
 )
+
+
+class TestElementBlocks:
+    def test_preserves_order_and_coverage(self):
+        elements = np.array([9, 3, 7, 0, 5, 2, 8])
+        blocks = element_blocks(elements, 3)
+        assert [len(b) for b in blocks] == [3, 3, 1]
+        assert np.array_equal(np.concatenate(blocks), elements)
+
+    def test_non_divisor_leaves_short_tail(self):
+        blocks = element_blocks(np.arange(27), 17)
+        assert [len(b) for b in blocks] == [17, 10]
+
+    def test_block_of_one_is_streaming(self):
+        blocks = element_blocks(np.arange(4), 1)
+        assert [b.tolist() for b in blocks] == [[0], [1], [2], [3]]
+
+    def test_accepts_a_balanced_shard(self):
+        part = partition_elements_balanced(27, 2)[1]
+        blocks = element_blocks(part, 4)
+        assert np.array_equal(np.concatenate(blocks), part)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(MeshError):
+            element_blocks(np.arange(8), 0)
+        with pytest.raises(MeshError):
+            element_blocks(np.arange(8).reshape(2, 4), 2)
 
 
 class TestContiguous:

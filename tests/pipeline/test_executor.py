@@ -95,3 +95,58 @@ class TestStreaming:
         batched = assembled_total(outputs)
         scale = np.abs(batched).max()
         assert np.abs(acc - batched).max() <= 1e-12 * scale
+
+    @pytest.mark.parametrize("block_size", [1, 3, 8])
+    def test_block_streaming_matches_element_streaming(self, setup, block_size):
+        """A block token computes exactly what its elements would one at
+        a time: same kernels, same scatter order within the block."""
+        from repro.mesh.partition import element_blocks
+
+        _mesh, op, stacked = setup
+        pipeline = navier_stokes_pipeline("full")
+        ctx = PipelineContext.from_operator(op)
+
+        single = np.zeros((5, op.mesh.num_nodes))
+        actions = streaming_actions(pipeline, ctx, stacked, single)
+        for element in range(op.mesh.num_elements):
+            payload = actions["load"](element, ())
+            payload = actions["compute"](element, (payload,))
+            actions["store"](element, (payload,))
+
+        blocked = np.zeros((5, op.mesh.num_nodes))
+        blocks = element_blocks(np.arange(op.mesh.num_elements), block_size)
+        actions = streaming_actions(
+            pipeline, ctx, stacked, blocked, blocks=blocks
+        )
+        for token in range(len(blocks)):
+            payload = actions["load"](token, ())
+            payload = actions["compute"](token, (payload,))
+            assert actions["store"](token, (payload,)) is None
+
+        scale = np.abs(single).max()
+        assert np.abs(blocked - single).max() <= 1e-13 * scale
+
+    def test_sharded_blocks_reduce_to_the_full_residual(self, setup):
+        """Two shards with per-shard accumulators: the reduced sum is the
+        batched assembled total (the multi-CU reduction path)."""
+        from repro.mesh.partition import element_blocks, partition_elements_balanced
+
+        _mesh, op, stacked = setup
+        pipeline = navier_stokes_pipeline("full")
+        ctx = PipelineContext.from_operator(op)
+        partials = []
+        for part in partition_elements_balanced(op.mesh.num_elements, 2):
+            acc = np.zeros((5, op.mesh.num_nodes))
+            blocks = element_blocks(part, 3)
+            actions = streaming_actions(
+                pipeline, ctx, stacked, acc, blocks=blocks
+            )
+            for token in range(len(blocks)):
+                payload = actions["load"](token, ())
+                payload = actions["compute"](token, (payload,))
+                actions["store"](token, (payload,))
+            partials.append(acc)
+        outputs = run_pipeline(pipeline, ctx, {"state": stacked})
+        batched = assembled_total(outputs)
+        scale = np.abs(batched).max()
+        assert np.abs(sum(partials) - batched).max() <= 1e-12 * scale

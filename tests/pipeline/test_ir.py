@@ -185,3 +185,40 @@ class TestLowering:
         p = element_pipeline()
         with pytest.raises(PipelineError):
             p.to_task_graph({"load_convection": 1.0})
+
+    def test_block_sizes_scale_latency_per_iteration(self):
+        """Block tokens carry the per-element group latency scaled by
+        that iteration's block size (II scaled per block)."""
+        p = element_pipeline()
+        cycles = {s.name: 10.0 for s in p.stages}
+        graph = p.to_task_graph(cycles, block_sizes=[4, 4, 3])
+        compute = graph.tasks["compute_diffusion_convection"]
+        assert compute.latency_at(0) == 80  # 20 cycles/element * 4
+        assert compute.latency_at(2) == 60  # short tail block
+        assert graph.tasks["load_element"].latency_at(1) == 40
+
+    def test_block_sizes_must_be_positive(self):
+        p = element_pipeline()
+        cycles = {s.name: 10.0 for s in p.stages}
+        with pytest.raises(PipelineError):
+            p.to_task_graph(cycles, block_sizes=[4, 0])
+
+    def test_task_names_allow_per_cu_prefixing(self):
+        p = element_pipeline()
+        cycles = {s.name: 10.0 for s in p.stages}
+        graph = p.to_task_graph(
+            cycles,
+            task_names={
+                role: f"cu1.{name}"
+                for role, name in (
+                    ("load", "load_element"),
+                    ("compute", "compute_diffusion_convection"),
+                    ("store", "store_element_contribution"),
+                )
+            },
+        )
+        assert graph.topological_order() == [
+            "cu1.load_element",
+            "cu1.compute_diffusion_convection",
+            "cu1.store_element_contribution",
+        ]

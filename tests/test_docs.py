@@ -1,0 +1,60 @@
+"""Docs integrity: README references and example smoke coverage.
+
+The expensive half of the docs gate (actually executing every example)
+runs in CI via ``tools/smoke_examples.py``; these tier-1 tests keep the
+cheap invariants — README points at real files, every example has a
+registered smoke command — enforced on every local run too.
+"""
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_smoke_module():
+    spec = importlib.util.spec_from_file_location(
+        "smoke_examples", REPO_ROOT / "tools" / "smoke_examples.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_readme_exists_and_references_resolve():
+    smoke = _load_smoke_module()
+    assert (REPO_ROOT / "README.md").exists(), "root README.md is missing"
+    missing = smoke.check_readme()
+    assert not missing, f"README.md references missing files: {missing}"
+
+
+def test_readme_maps_every_package():
+    """The package map must cover every repro subpackage."""
+    text = (REPO_ROOT / "README.md").read_text()
+    packages = sorted(
+        p.parent.name
+        for p in (REPO_ROOT / "src" / "repro").glob("*/__init__.py")
+    )
+    unmapped = [pkg for pkg in packages if f"repro.{pkg}" not in text]
+    assert not unmapped, f"README package map is missing: {unmapped}"
+
+
+def test_every_example_has_smoke_args():
+    smoke = _load_smoke_module()
+    scripts = sorted(p.name for p in (REPO_ROOT / "examples").glob("*.py"))
+    unregistered = [s for s in scripts if s not in smoke.SMOKE_ARGS]
+    assert not unregistered, (
+        f"examples without smoke args in tools/smoke_examples.py: "
+        f"{unregistered} — register them so CI covers them"
+    )
+
+
+def test_architecture_documents_the_cosim_extension():
+    text = (REPO_ROOT / "ARCHITECTURE.md").read_text()
+    for needle in (
+        "Batched & multi-CU co-simulation",
+        "analytic_block_cycles",
+        "multi_cu_timing_from_cosim",
+        "merge_graphs",
+    ):
+        assert needle in text, f"ARCHITECTURE.md lost its {needle!r} coverage"
