@@ -1,0 +1,152 @@
+"""Full-RK-step co-simulation throughput vs the RKL-only baseline (PR 4).
+
+Measures (not estimates) the wall-clock of the chained full-step
+co-simulation — :func:`repro.accel.cosim.cosimulate_rk_stage`, which
+streams every stage's RKL element pipeline into the RK-update node
+pipeline under one simulator clock — against the prior modeling scope:
+``num_stages`` standalone RKL residual streams
+(:func:`repro.accel.cosim.streamed_residual`) with the RKU term taken
+only from the closed form. The chained run buys end-to-end coverage
+(every cycle of the step simulated AND computed, RKU priced from a
+trace) for a bounded overhead over the RKL-only baseline, which this
+benchmark records and caps.
+
+Headline numbers (steps/second, element-stages/second) are written to
+``BENCH_pr4.json`` and uploaded as a CI artifact for trend tracking.
+
+Run with ``python -m pytest benchmarks/test_rk_step_cosim.py -v -s``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.accel.cosim import cosimulate_rk_stage, streamed_residual
+from repro.mesh.hexmesh import periodic_box_mesh
+from repro.physics.taylor_green import DEFAULT_TGV, taylor_green_initial
+from repro.solver.navier_stokes import NavierStokesOperator
+from repro.timeint.butcher import RK4
+
+ELEMENTS_PER_DIRECTION = 2
+ORDER = 3
+
+BLOCK_SIZE = 4
+CU_COUNTS = (1, 2)
+
+#: The chained full step simulates num_stages RKL streams + the RKU
+#: chains + the functional parity reference; it must cost no more than
+#: this factor over the RKL-only modeling scope (operator setup +
+#: num_stages standalone streams) — the sequencing and node chains are
+#: cheap next to the element physics.
+MAX_FULL_STEP_OVERHEAD = 3.0
+
+#: Perf-trajectory artifact consumed by CI.
+ARTIFACT_PATH = Path(__file__).resolve().parent / "BENCH_pr4.json"
+
+
+def _best_of(fn, repeat: int = 3):
+    """Best wall-clock over ``repeat`` calls (after warmup) + a result."""
+    result = fn()
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def measurements(proposed):
+    mesh = periodic_box_mesh(ELEMENTS_PER_DIRECTION, ORDER)
+    stacked = taylor_green_initial(mesh.coords, DEFAULT_TGV).as_stacked()
+    element_stages = mesh.num_elements * RK4.num_stages
+
+    def rkl_only(num_cus: int):
+        """The prior modeling scope: operator setup + one RKL residual
+        stream per RK stage; RKU only from the closed form."""
+        op = NavierStokesOperator(mesh, DEFAULT_TGV.gas(), backend="fast")
+        return [
+            streamed_residual(
+                proposed, op, stacked, block_size=BLOCK_SIZE, num_cus=num_cus
+            )
+            for _ in range(RK4.num_stages)
+        ]
+
+    cases = {}
+    for num_cus in CU_COUNTS:
+        rkl_seconds, _ = _best_of(lambda n=num_cus: rkl_only(n))
+        step_seconds, result = _best_of(
+            lambda n=num_cus: cosimulate_rk_stage(
+                proposed,
+                mesh,
+                backend="fast",
+                block_size=BLOCK_SIZE,
+                num_cus=n,
+            )
+        )
+        cases[f"cus{num_cus}"] = {
+            "num_cus": num_cus,
+            "block_size": BLOCK_SIZE,
+            "rkl_only_seconds": rkl_seconds,
+            "full_step_seconds": step_seconds,
+            "full_step_overhead": step_seconds / rkl_seconds,
+            "steps_per_second": 1.0 / step_seconds,
+            "element_stages_per_second": element_stages / step_seconds,
+            "simulated_cycles": result.simulated_cycles,
+            "rku_simulated_cycles": result.rku_simulated_cycles,
+            "rku_cycle_agreement": result.rku_cycle_agreement,
+            "state_max_rel_err": result.state_max_rel_err,
+        }
+    return mesh, cases
+
+
+def test_throughput_recorded(measurements):
+    mesh, cases = measurements
+    print()
+    print(
+        f"full-RK-step cosim on {mesh.num_elements} elements "
+        f"(p={ORDER}, fast backend, block {BLOCK_SIZE})"
+    )
+    print(f"{'case':>6} {'steps/s':>9} {'overhead':>9} {'rku agree':>10}")
+    for name, row in cases.items():
+        print(
+            f"{name:>6} {row['steps_per_second']:>9.2f} "
+            f"{row['full_step_overhead']:>8.2f}x "
+            f"{100 * (1 - row['rku_cycle_agreement']):>9.2f}%"
+        )
+    assert all(row["steps_per_second"] > 0 for row in cases.values())
+
+
+def test_full_step_stays_correct_under_benchmark_load(measurements):
+    _mesh, cases = measurements
+    for row in cases.values():
+        assert row["state_max_rel_err"] <= 1e-12
+        assert row["rku_cycle_agreement"] < 0.05
+
+
+def test_full_step_overhead_bounded(measurements):
+    """The chained step must not cost much more than its RKL content:
+    end-to-end coverage is nearly free once the element streams pay."""
+    _mesh, cases = measurements
+    for row in cases.values():
+        assert row["full_step_overhead"] < MAX_FULL_STEP_OVERHEAD
+
+
+def test_artifact_written(measurements):
+    mesh, cases = measurements
+    payload = {
+        "benchmark": "rk_step_cosim",
+        "mesh": {
+            "elements": mesh.num_elements,
+            "nodes": mesh.num_nodes,
+            "order": ORDER,
+        },
+        "num_stages": RK4.num_stages,
+        "cases": cases,
+    }
+    ARTIFACT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    assert json.loads(ARTIFACT_PATH.read_text())["cases"]

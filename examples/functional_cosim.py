@@ -14,11 +14,18 @@ same wall-clock) and ``--num-cus`` shards the element stream across
 parallel compute-unit task graphs under one simulator clock, deriving
 the multi-CU timing from the same run.
 
+With ``--full-step`` the co-simulation covers a *complete* RK time
+step: every stage's RKL element stream chains into the RK-update node
+stream (the ``repro.pipeline.rk_update`` pipeline) under one simulator
+clock, the streamed final state is checked against the functional
+``Simulation.step``, and the RKU cycles come from the trace instead of
+only the closed form.
+
 Usage::
 
     python examples/functional_cosim.py [elements_per_direction] [order] \
         [--backend reference|fast] [--case tgv|channel] \
-        [--block-size B] [--num-cus N]
+        [--block-size B] [--num-cus N] [--full-step]
 """
 
 from __future__ import annotations
@@ -53,6 +60,12 @@ def main() -> None:
         type=int,
         default=1,
         help="compute units to shard the element stream across",
+    )
+    parser.add_argument(
+        "--full-step",
+        action="store_true",
+        help="also co-simulate a complete RK time step (RKL chained "
+        "into the RKU node stream under one clock)",
     )
     add_backend_argument(parser)
     args = parser.parse_args()
@@ -118,6 +131,45 @@ def main() -> None:
         f"functional run: kinetic energy {result.kinetic_energy:.6f}, "
         f"mass drift {result.mass_drift:.2e}"
     )
+
+    if args.full_step:
+        from repro.accel.cosim import (
+            cosimulate_rk_stage,
+            design_timing_from_rk_cosim,
+        )
+
+        print()
+        print(
+            "== full RK step: RKL element streams chained into the RKU "
+            "node stream =="
+        )
+        step = cosimulate_rk_stage(
+            design,
+            mesh,
+            backend=backend,
+            case=case,
+            initial_state=initial_state,
+            block_size=args.block_size,
+            num_cus=args.num_cus,
+        )
+        print(
+            f"streamed step vs Simulation.step: max rel err "
+            f"{step.state_max_rel_err:.2e} (dt {step.dt:.3e})"
+        )
+        print(f"per-stage RKL cycles: {step.per_stage_rkl_cycles}")
+        print(
+            f"RKU cycles from trace {step.rku_simulated_cycles} vs closed "
+            f"form {step.rku_analytic_cycles:.0f} "
+            f"(agreement {100 * (1 - step.rku_cycle_agreement):.2f}%)"
+        )
+        print(f"whole step on one clock: {step.simulated_cycles} cycles")
+        timing = design_timing_from_rk_cosim(design, step)
+        print(
+            f"trace-derived step timing: RKL "
+            f"{timing.rkl_seconds_per_stage:.3e} s/stage, RKU "
+            f"{timing.rku_seconds_per_step:.3e} s/step, RK step "
+            f"{timing.rk_step_seconds:.3e} s"
+        )
 
 
 if __name__ == "__main__":

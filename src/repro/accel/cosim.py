@@ -28,6 +28,17 @@ timing extension (:mod:`repro.accel.multi_cu`) derives its
 graphs via
 :func:`~repro.accel.multi_cu.multi_cu_timing_from_cosim`, so timing,
 op-counts, and functional execution share one source of truth.
+
+Co-simulation also covers the *whole* RK time step
+(:func:`cosimulate_rk_stage`): every stage's RKL element stream chains
+into the RK-update node stream (the
+:func:`~repro.pipeline.rk_update.rk_update_pipeline` lowering) under one
+simulator clock, sequenced by kernel dependencies
+(:attr:`~repro.dataflow.task.Task.depends_on`); the streamed final
+state must match :meth:`repro.solver.simulation.Simulation.step` to
+rounding error, and :func:`design_timing_from_rk_cosim` turns the trace
+into a :class:`DesignTiming` whose RKU seconds are simulated rather than
+modeled.
 """
 
 from __future__ import annotations
@@ -45,9 +56,14 @@ from ..mesh.partition import element_blocks, partition_elements_balanced
 from ..physics.state import NUM_CONSERVED, FlowState
 from ..pipeline import (
     DEFAULT_TASK_NAMES,
+    RK_UPDATE_TASK_NAMES,
     OperatorPipeline,
     PipelineContext,
+    RKUpdateContext,
     element_pipeline,
+    node_blocks,
+    rk_update_pipeline,
+    rk_update_streaming_actions,
     streaming_actions,
 )
 from ..timeint.butcher import RK4, ButcherTableau
@@ -235,6 +251,35 @@ def _cu_task_names(cu: int) -> dict[str, str]:
     }
 
 
+def _element_partitions(
+    num_elements: int, num_cus: int, partitions
+) -> list[np.ndarray]:
+    """Validated element shards, one per compute unit.
+
+    ``partitions=None`` balances ``num_elements`` over ``num_cus``;
+    explicit shards must be non-empty and cover the mesh exactly once.
+    """
+    if partitions is None:
+        if num_cus < 1:
+            raise ExperimentError("num_cus must be >= 1")
+        partitions = partition_elements_balanced(num_elements, num_cus)
+    else:
+        partitions = [np.asarray(part, dtype=np.int64) for part in partitions]
+    if any(part.size == 0 for part in partitions):
+        raise ExperimentError(
+            "every compute unit needs at least one element; fewer CUs "
+            "than elements required"
+        )
+    covered = np.sort(np.concatenate(partitions))
+    if covered.size != num_elements or not np.array_equal(
+        covered, np.arange(num_elements)
+    ):
+        raise ExperimentError(
+            "partitions must cover every mesh element exactly once"
+        )
+    return partitions
+
+
 
 
 def analytic_block_cycles(
@@ -385,27 +430,11 @@ def streamed_residual(
         pipeline = element_pipeline()
     if block_size < 1:
         raise ExperimentError("block_size must be >= 1")
-    num_elements = operator.mesh.num_elements
     num_nodes = operator.mesh.num_nodes
-    if partitions is None:
-        if num_cus < 1:
-            raise ExperimentError("num_cus must be >= 1")
-        partitions = partition_elements_balanced(num_elements, num_cus)
-    else:
-        partitions = [np.asarray(part, dtype=np.int64) for part in partitions]
+    partitions = _element_partitions(
+        operator.mesh.num_elements, num_cus, partitions
+    )
     num_cus = len(partitions)
-    if any(part.size == 0 for part in partitions):
-        raise ExperimentError(
-            "every compute unit needs at least one element; fewer CUs "
-            "than elements required"
-        )
-    covered = np.sort(np.concatenate(partitions))
-    if covered.size != num_elements or not np.array_equal(
-        covered, np.arange(num_elements)
-    ):
-        raise ExperimentError(
-            "partitions must cover every mesh element exactly once"
-        )
 
     ctx = PipelineContext.from_operator(operator)
     nodes_per_cu = nodes_per_compute_unit(num_nodes, num_cus)
@@ -575,4 +604,385 @@ def cosimulate_small_mesh(
         num_compute_units=num_cus,
         block_size=block_size,
         per_cu_cycles=per_cu_simulated_cycles(trace, num_cus),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Full RK-step co-simulation: RKL element streams chained into RKU
+# ---------------------------------------------------------------------------
+
+
+def _with_fill_cycles(task, fill: float) -> None:
+    """Add a kernel-launch fill to a task's iteration-0 latency.
+
+    The RKU closed form charges the five update loops' pipeline depths
+    (plus SLL crossings) once per launch; the streamed chain pays the
+    same constant on its first token.
+    """
+    base = task.latency
+    extra = max(0, round(fill))
+    if callable(base):
+
+        def latency(iteration: int, base=base, extra=extra) -> int:
+            return int(base(iteration)) + (extra if iteration == 0 else 0)
+
+    else:
+
+        def latency(iteration: int, base=int(base), extra=extra) -> int:
+            return base + (extra if iteration == 0 else 0)
+
+    task.latency = latency
+
+
+def _rku_task_names(prefix: str) -> dict[str, str]:
+    """Role -> task-name mapping of one RKU chain instance."""
+    return {
+        role: f"{prefix}.{base}"
+        for role, base in RK_UPDATE_TASK_NAMES.items()
+    }
+
+
+@dataclass
+class RKStepCosimResult:
+    """Outcome of a co-simulated full RK time step (all stages + RKU).
+
+    One merged dataflow graph — per stage an RKL element stream (one
+    chain per compute unit) and a stage-combination node stream, plus
+    the final RKU update chain — ran under a single simulator clock,
+    sequenced by kernel dependencies
+    (:attr:`~repro.dataflow.task.Task.depends_on`).
+    """
+
+    trace: SimulationTrace
+    #: The streamed step's final conservative state.
+    final_state: FlowState
+    #: ``(5, N)`` primitive rows ``u, v, w, T, p`` the RKU chain wrote.
+    primitives: np.ndarray
+    dt: float
+    num_stages: int
+    #: Max-norm relative error of the streamed final state against the
+    #: functional :meth:`repro.solver.simulation.Simulation.step`.
+    state_max_rel_err: float
+    #: Per-RK-stage RKL cycles (first LOAD start to last STORE finish,
+    #: max over compute units) on the shared clock.
+    per_stage_rkl_cycles: tuple[int, ...]
+    #: RKU chain cycles measured on the trace (final update only).
+    rku_simulated_cycles: int
+    #: The closed-form :meth:`AcceleratorDesign.rku_step_cycles`.
+    rku_analytic_cycles: float
+    num_compute_units: int = 1
+    block_size: int = 1
+    node_block_size: int = 1
+    #: Elements of the co-simulated mesh (across all compute units).
+    num_elements: int = 0
+
+    @property
+    def simulated_cycles(self) -> int:
+        """Total cycles of the whole co-simulated step."""
+        return self.trace.total_cycles
+
+    @property
+    def rku_cycle_agreement(self) -> float:
+        """|simulated - analytic| / analytic for the RKU chain."""
+        return abs(self.rku_simulated_cycles - self.rku_analytic_cycles) / (
+            self.rku_analytic_cycles
+        )
+
+
+def _chain_window_cycles(
+    trace: SimulationTrace, load_names: list[str], store_names: list[str]
+) -> int:
+    """Cycles one task chain occupied: first LOAD start to last STORE
+    finish, on the shared simulator clock."""
+    first = min(trace.stats(name).first_start or 0 for name in load_names)
+    last = max(trace.stats(name).last_finish or 0 for name in store_names)
+    return last - first
+
+
+def cosimulate_rk_stage(
+    design: AcceleratorDesign,
+    mesh: HexMesh,
+    dt: float | None = None,
+    backend: str | None = None,
+    case=None,
+    initial_state: FlowState | None = None,
+    block_size: int = 1,
+    num_cus: int = 1,
+    partitions=None,
+    node_block_size: int = 32,
+    tableau: ButcherTableau = RK4,
+) -> RKStepCosimResult:
+    """Co-simulate one complete RK time step: RKL streamed into RKU.
+
+    Every RK stage's element stream (the RKL pipeline, sharded over
+    ``num_cus`` like :func:`streamed_residual`) and every stage
+    combination's node stream (the
+    :func:`~repro.pipeline.rk_update.rk_update_pipeline` lowering) run
+    as task chains of ONE merged dataflow graph under ONE simulator
+    clock, sequenced the way the host runtime sequences the kernels:
+    each chain's entry task carries a
+    :attr:`~repro.dataflow.task.Task.depends_on` dependency on the
+    previous chain's drain (stage ``s`` RKL waits for combination ``s``,
+    combination ``s + 1`` waits for every stage-``s`` RKL shard, and the
+    final RKU chain — axpy with the ``b`` row plus the primitive update
+    — waits for the last stage). The payload-carrying tokens compute the
+    *actual* step: the result must match the functional
+    :meth:`repro.solver.simulation.Simulation.step` to rounding error,
+    and the RKU chain's trace cycles must agree with the
+    :meth:`~repro.accel.designs.AcceleratorDesign.rku_step_cycles`
+    closed form — both asserted by the test suite.
+
+    Parameters
+    ----------
+    design:
+        Accelerator design point pricing both pipelines.
+    mesh:
+        The (small) mesh whose step is co-simulated.
+    dt:
+        Step size (``None`` uses the CFL controller's stable step).
+    backend / case / initial_state:
+        As in :func:`cosimulate_small_mesh`.
+    block_size:
+        Elements per RKL token.
+    num_cus / partitions:
+        RKL sharding, as in :func:`streamed_residual`.
+    node_block_size:
+        Nodes per RKU token. The default keeps per-token simulation
+        overhead low while the RKU cycle count stays within a few
+        percent of the closed form.
+    tableau:
+        The RK scheme to step.
+
+    Returns
+    -------
+    RKStepCosimResult
+        Functional + timing outcome of the streamed step.
+
+    Raises
+    ------
+    ExperimentError
+        On invalid ``block_size``/``num_cus``/``partitions``, as in
+        :func:`streamed_residual`.
+    """
+    from ..physics.taylor_green import DEFAULT_TGV
+    from ..solver.simulation import Simulation
+
+    if case is None:
+        case = DEFAULT_TGV
+    if block_size < 1:
+        raise ExperimentError("block_size must be >= 1")
+    if node_block_size < 1:
+        raise ExperimentError("node_block_size must be >= 1")
+    sim = Simulation(
+        mesh, case, tableau=tableau, backend=backend,
+        initial_state=initial_state,
+    )
+    operator = sim.operator
+    y0 = sim.state.as_stacked()
+    if dt is None:
+        dt = sim.compute_dt()
+    num_nodes = mesh.num_nodes
+    num_stages = tableau.num_stages
+    partitions = _element_partitions(mesh.num_elements, num_cus, partitions)
+    num_cus = len(partitions)
+    nodes_per_cu = nodes_per_compute_unit(num_nodes, num_cus)
+    blocks = node_blocks(num_nodes, node_block_size)
+    node_sizes = [block.size for block in blocks]
+
+    ctx = PipelineContext.from_operator(operator)
+    rku_ctx = RKUpdateContext(gas=operator.gas, num_nodes=num_nodes)
+    rkl_pipeline = element_pipeline()
+    combine_pipeline = rk_update_pipeline(primitives=False)
+    update_pipeline = rk_update_pipeline(primitives=True)
+    combine_cycles = design.rku_pipeline_stage_cycles(
+        combine_pipeline, num_nodes
+    )
+    update_cycles = design.rku_pipeline_stage_cycles(update_pipeline, num_nodes)
+    rku_fill = design.rku_fill_cycles()
+
+    # Whole-mesh staging arrays the chains hand to one another: the
+    # finalized stage derivatives, the combined stage states the RKL
+    # streams read, and the step's outputs.
+    shape = (NUM_CONSERVED, num_nodes)
+    derivs = [np.zeros(shape) for _ in range(num_stages)]
+    stage_states: list[np.ndarray] = [y0]
+    stage_states += [np.empty(shape) for _ in range(num_stages - 1)]
+    accumulators = [
+        [np.zeros(shape) for _ in partitions] for _ in range(num_stages)
+    ]
+    out_state = np.empty(shape)
+    out_primitives = np.empty(shape)
+
+    def finalizer(stage: int):
+        """Finalize stage ``stage``'s derivative when its consumer
+        launches: reduce the per-CU partials, invert the mass, apply
+        wall conditions — at the simulated instant the next kernel
+        starts, after the dependency guaranteed the RKL drain."""
+
+        def prepare() -> None:
+            total = accumulators[stage][0]
+            for accumulator in accumulators[stage][1:]:
+                total = total + accumulator
+            derivs[stage][:] = operator.finalize_residual(total)
+
+        return prepare
+
+    subgraphs: list[DataflowGraph] = []
+    iterations: dict[str, int] = {}
+    previous_drain: tuple[str, ...] = ()
+    for stage in range(num_stages):
+        if stage > 0:
+            # Stage-combination node stream: y_s = y + dt * sum(a_sk d_k).
+            names = _rku_task_names(f"s{stage}.update")
+            actions = rk_update_streaming_actions(
+                combine_pipeline,
+                rku_ctx,
+                y0,
+                derivs[:stage],
+                tableau.a[stage, :stage],
+                dt,
+                out_state=stage_states[stage],
+                blocks=blocks,
+                prepare=finalizer(stage - 1),
+            )
+            graph = combine_pipeline.to_task_graph(
+                combine_cycles,
+                task_names=names,
+                actions=actions,
+                name=f"rkstep-{design.options.name}-s{stage}-update",
+                block_sizes=node_sizes,
+            )
+            graph.tasks[names["load"]].depends_on = previous_drain
+            _with_fill_cycles(graph.tasks[names["load"]], rku_fill)
+            for task_name in graph.tasks:
+                iterations[task_name] = len(blocks)
+            subgraphs.append(graph)
+            previous_drain = (names["store"],)
+        # RKL element streams of this stage, one chain per compute unit.
+        drains: list[str] = []
+        for cu, part in enumerate(partitions):
+            element_tokens = element_blocks(part, block_size)
+            names = {
+                role: f"s{stage}.cu{cu}.{base}"
+                for role, base in DEFAULT_TASK_NAMES.items()
+            }
+            actions = streaming_actions(
+                rkl_pipeline,
+                ctx,
+                stage_states[stage],
+                accumulators[stage][cu],
+                blocks=element_tokens,
+            )
+            graph = build_rkl_dataflow_graph(
+                design,
+                nodes_per_cu,
+                pipeline=rkl_pipeline,
+                actions=actions,
+                block_sizes=(
+                    None
+                    if block_size == 1
+                    else [block.size for block in element_tokens]
+                ),
+                task_names=names,
+                name=f"rkstep-{design.options.name}-s{stage}-cu{cu}",
+            )
+            graph.tasks[names["load"]].depends_on = previous_drain
+            for task_name in graph.tasks:
+                iterations[task_name] = len(element_tokens)
+            drains.append(names["store"])
+            subgraphs.append(graph)
+        previous_drain = tuple(drains)
+    # The final RKU chain: b-row combination + primitive update.
+    names = _rku_task_names("rku")
+    actions = rk_update_streaming_actions(
+        update_pipeline,
+        rku_ctx,
+        y0,
+        derivs,
+        tableau.b,
+        dt,
+        out_state=out_state,
+        out_primitives=out_primitives,
+        blocks=blocks,
+        prepare=finalizer(num_stages - 1),
+    )
+    graph = update_pipeline.to_task_graph(
+        update_cycles,
+        task_names=names,
+        actions=actions,
+        name=f"rkstep-{design.options.name}-rku",
+        block_sizes=node_sizes,
+    )
+    graph.tasks[names["load"]].depends_on = previous_drain
+    _with_fill_cycles(graph.tasks[names["load"]], rku_fill)
+    for task_name in graph.tasks:
+        iterations[task_name] = len(blocks)
+    subgraphs.append(graph)
+
+    merged = merge_graphs(
+        f"rkstep-{design.options.name}-{num_cus}cu", subgraphs
+    )
+    trace = DataflowSimulator(merged).run(iterations)
+
+    # Functional reference: the very step the solver would take.
+    sim.step(dt)
+    expected = sim.state.as_stacked()
+    scale = float(np.abs(expected).max())
+    state_err = float(np.abs(out_state - expected).max()) / (
+        scale if scale > 0.0 else 1.0
+    )
+
+    per_stage = tuple(
+        _chain_window_cycles(
+            trace,
+            [f"s{stage}.cu{cu}.{DEFAULT_TASK_NAMES['load']}" for cu in range(num_cus)],
+            [f"s{stage}.cu{cu}.{DEFAULT_TASK_NAMES['store']}" for cu in range(num_cus)],
+        )
+        for stage in range(num_stages)
+    )
+    rku_cycles = _chain_window_cycles(
+        trace,
+        [f"rku.{RK_UPDATE_TASK_NAMES['load']}"],
+        [f"rku.{RK_UPDATE_TASK_NAMES['store']}"],
+    )
+    return RKStepCosimResult(
+        trace=trace,
+        final_state=FlowState.from_stacked(out_state),
+        primitives=out_primitives,
+        dt=dt,
+        num_stages=num_stages,
+        state_max_rel_err=state_err,
+        per_stage_rkl_cycles=per_stage,
+        rku_simulated_cycles=rku_cycles,
+        rku_analytic_cycles=design.rku_step_cycles(num_nodes),
+        num_compute_units=num_cus,
+        block_size=block_size,
+        node_block_size=node_block_size,
+        num_elements=mesh.num_elements,
+    )
+
+
+def design_timing_from_rk_cosim(
+    design: AcceleratorDesign, result: RKStepCosimResult
+) -> DesignTiming:
+    """A :class:`DesignTiming` whose stage times are *simulated*.
+
+    Both terms of the step come from the full-step trace instead of the
+    closed forms: ``rkl_seconds_per_stage`` is the mean per-stage RKL
+    window and ``rku_seconds_per_step`` the RKU chain's window, each
+    converted at the design clock — the trace-derived counterpart of
+    :func:`design_timing`, directly comparable against it.
+    """
+    hz = design.clock_mhz * 1e6
+    mean_stage = sum(result.per_stage_rkl_cycles) / result.num_stages
+    return DesignTiming(
+        design_name=design.options.name,
+        num_nodes=result.final_state.num_nodes,
+        num_elements=result.num_elements,
+        clock_mhz=design.clock_mhz,
+        rkl_seconds_per_stage=seconds_from_cycles(mean_stage, hz),
+        rku_seconds_per_step=seconds_from_cycles(
+            result.rku_simulated_cycles, hz
+        ),
+        num_stages=result.num_stages,
     )

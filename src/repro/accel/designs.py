@@ -21,6 +21,7 @@ import math
 from dataclasses import dataclass, field
 
 from ..errors import HLSError
+from ..opcount import NUM_FIELDS
 from ..hls.arrays import ArraySpec
 from ..hls.directives import DirectiveSet, vitis_default_directives
 from ..hls.loops import ArrayAccess, LoopNest
@@ -259,24 +260,21 @@ class AcceleratorDesign:
             "store": self.store_task_cycles(num_nodes),
         }
 
-    def pipeline_stage_cycles(
-        self, pipeline, num_nodes: int
+    def _split_role_cycles(
+        self, pipeline, role_cycles: dict[str, float]
     ) -> dict[str, float]:
-        """Per-stage cycles for an operator-pipeline IR instance.
+        """Distribute per-role latencies over a pipeline's stages.
 
-        Each role group shares its element task's analytic latency
-        (:meth:`rkl_element_cycles`): LOAD and STORE stages split theirs
-        evenly (there is one of each in practice), while COMPUTE stages
-        split the merged COMPUTE module's cycles in proportion to their
-        per-element flop counts (:mod:`repro.pipeline.opcounts`) — so
-        timing, op-accounting and functional execution all derive from
-        the same stage graph. Group sums reproduce the role totals, which
+        LOAD and STORE stages split their role's cycles evenly, while
+        COMPUTE stages split theirs in proportion to their per-token
+        flop counts (:mod:`repro.pipeline.opcounts`) — so timing,
+        op-accounting and functional execution all derive from the same
+        stage graph. Group sums reproduce the role totals exactly, which
         keeps the lowered dataflow graph's cycle counts on the analytic
-        ``fill + II * (E - 1)`` model.
+        pipeline laws.
         """
         from ..pipeline.opcounts import pipeline_op_counts
 
-        role_cycles = self.rkl_element_cycles(num_nodes)
         flops = {
             name: count.flops
             for name, count in pipeline_op_counts(
@@ -302,6 +300,21 @@ class AcceleratorDesign:
             out[stages[-1].name] = total - assigned
         return out
 
+    def pipeline_stage_cycles(
+        self, pipeline, num_nodes: int
+    ) -> dict[str, float]:
+        """Per-stage cycles for an RKL operator-pipeline IR instance.
+
+        Each role group shares its element task's analytic latency
+        (:meth:`rkl_element_cycles`), split over its stages by
+        :meth:`_split_role_cycles`; group sums reproduce the role
+        totals, keeping the lowered dataflow graph's cycle counts on the
+        analytic ``fill + II * (E - 1)`` model.
+        """
+        return self._split_role_cycles(
+            pipeline, self.rkl_element_cycles(num_nodes)
+        )
+
     def rkl_element_ii(self, num_nodes: int) -> float:
         """Steady-state element II (TLP) or full serial latency (baseline)."""
         cycles = self.rkl_element_cycles(num_nodes)
@@ -325,21 +338,69 @@ class AcceleratorDesign:
 
     # -- RKU timing ---------------------------------------------------------------
 
-    def rku_step_cycles(self, num_nodes: int) -> float:
-        """Cycles for the RKU update of one time step (5 update loops).
+    def rku_fill_cycles(self) -> float:
+        """First-node latency of the RKU kernel (fills + SLL crossings).
 
-        The loops run back-to-back over all nodes; each retires one node
-        per achieved II. An SLL-crossing penalty is added per loop when
-        RKU sits on a non-DDR SLR (the paper's placement).
+        The sum over the five update loops of pipeline depth plus the
+        SLL-crossing penalty each pays when RKU sits on a non-DDR SLR
+        (the paper's placement).
         """
-        total = 0.0
         sll = 0
         if self.options.split_slrs:
             crossings = self.floorplan.crossings("rku")
             sll = crossings * self.floorplan.device.sll_crossing_latency_cycles
-        for sched in self.rku_schedules.values():
-            total += sched.depth + sll + sched.achieved_ii * (num_nodes - 1)
-        return total
+        return float(
+            sum(sched.depth + sll for sched in self.rku_schedules.values())
+        )
+
+    def rku_node_cycles(self, num_nodes: int) -> dict[str, float]:
+        """Per-node cycles of the three streamed RKU roles.
+
+        This is the RKU analogue of :meth:`rkl_element_cycles`, used to
+        lower the :func:`~repro.pipeline.rk_update.rk_update_pipeline`
+        node stream to a cycle-accurate task chain. COMPUTE carries the
+        summed achieved II of the five update loops (they share one
+        update datapath, so a node retires only when all five quantities
+        did); LOAD and STORE are the streaming interfaces, moving the
+        node's ``NUM_FIELDS`` doubles per 512-bit AXI beat (8 values) —
+        well under the compute II for both evaluated designs, so the
+        chain's steady state reproduces the ``sum(II) * (N - 1)`` term
+        of :meth:`rku_step_cycles`.
+        """
+        stream = NUM_FIELDS / 8.0
+        ii_total = float(
+            sum(sched.achieved_ii for sched in self.rku_schedules.values())
+        )
+        return {"load": stream, "compute": ii_total, "store": stream}
+
+    def rku_pipeline_stage_cycles(
+        self, pipeline, num_nodes: int
+    ) -> dict[str, float]:
+        """Per-stage cycles for an RK-update pipeline IR instance.
+
+        The role latencies come from :meth:`rku_node_cycles` and are
+        split over the pipeline's stages by :meth:`_split_role_cycles`
+        (flop-weighted within COMPUTE), mirroring
+        :meth:`pipeline_stage_cycles` — one latency model for both
+        halves of the RK step, derived from the same IR.
+        """
+        return self._split_role_cycles(
+            pipeline, self.rku_node_cycles(num_nodes)
+        )
+
+    def rku_step_cycles(self, num_nodes: int) -> float:
+        """Cycles for the RKU update of one time step (5 update loops).
+
+        The loops run back-to-back over all nodes; each retires one node
+        per achieved II, so the total is the kernel fill
+        (:meth:`rku_fill_cycles`) plus the per-node compute cycles of
+        :meth:`rku_node_cycles` scaled by the remaining nodes — the
+        closed form the full-step co-simulation's RKU trace must
+        reproduce.
+        """
+        return self.rku_fill_cycles() + self.rku_node_cycles(num_nodes)[
+            "compute"
+        ] * (num_nodes - 1)
 
     # -- reporting -------------------------------------------------------------
 

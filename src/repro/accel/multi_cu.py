@@ -7,7 +7,11 @@ with its own pair of DDR4 channels), so the element stream can be split
 across two identical RKL instances with no shared memory bandwidth,
 while RKU stays on SLR1 between them.
 
-This module elaborates that design point from the same kernel models:
+This module elaborates that design point from the same kernel models.
+The CU ceiling is a property of the *device model*
+(:func:`max_compute_units` — the memory-attached SLR count), so
+HBM-class boards with more attached SLRs admit ``N > 2`` with no code
+change:
 
 - elements are balanced across the CUs
   (:func:`repro.mesh.partition.partition_elements_balanced` semantics);
@@ -40,8 +44,22 @@ from ..fpga.floorplan import KernelPlacement, clock_for_floorplan, plan_floorpla
 from ..timeint.butcher import RK4, ButcherTableau
 from .designs import AcceleratorDesign, proposed_design
 
-#: DDR-attached SLRs on the U200 bound the CU count.
-MAX_COMPUTE_UNITS = 2
+def max_compute_units(device: FPGADevice = ALVEO_U200) -> int:
+    """Compute-unit ceiling of a device: its memory-attached SLR count.
+
+    Each RKL instance needs its own DDR (or HBM pseudo-channel group)
+    attachment to keep the proposed design's per-CU bandwidth; the
+    bound is therefore a property of the *device model*, not a
+    constant — an HBM-class board with more memory-attached SLRs admits
+    ``N > 2`` configurations with no code change here.
+    """
+    return len(device.ddr_attached_slrs())
+
+
+#: DDR-attached SLRs on the paper's U200 bound its CU count (kept as a
+#: constant for the established import path; prefer
+#: :func:`max_compute_units` for other devices).
+MAX_COMPUTE_UNITS = max_compute_units(ALVEO_U200)
 
 
 def nodes_per_compute_unit(num_nodes: int, num_compute_units: int) -> int:
@@ -105,8 +123,8 @@ def multi_cu_floorplan(
     base:
         Design whose RKL/RKU resource vectors are replicated/placed.
     num_compute_units:
-        RKL instances, ``1..MAX_COMPUTE_UNITS`` (one per DDR-attached
-        SLR).
+        RKL instances, ``1..max_compute_units(device)`` (one per
+        memory-attached SLR).
     device:
         Target FPGA (defaults to the paper's Alveo U200).
 
@@ -118,11 +136,12 @@ def multi_cu_floorplan(
     Raises
     ------
     ExperimentError
-        If ``num_compute_units`` is out of range.
+        If ``num_compute_units`` is out of range for the device.
     """
-    if not 1 <= num_compute_units <= MAX_COMPUTE_UNITS:
+    limit = max_compute_units(device)
+    if not 1 <= num_compute_units <= limit:
         raise ExperimentError(
-            f"num_compute_units must be 1..{MAX_COMPUTE_UNITS}"
+            f"num_compute_units must be 1..{limit} on {device.name}"
         )
     ddr_slrs = [s.name for s in device.ddr_attached_slrs()]
     placements = [
@@ -134,7 +153,14 @@ def multi_cu_floorplan(
         )
         for cu in range(num_compute_units)
     ]
-    placements.append(KernelPlacement("rku", base.rku_resources, slr="SLR1"))
+    # RKU keeps the paper's placement on a memory-free SLR when the
+    # device has one (SLR1 on the U200); an HBM-class device with every
+    # SLR memory-attached co-locates it with the first CU instead.
+    non_ddr = [s.name for s in device.slrs if not s.has_ddr_attach]
+    rku_slr = non_ddr[0] if non_ddr else device.slrs[0].name
+    placements.append(
+        KernelPlacement("rku", base.rku_resources, slr=rku_slr)
+    )
     return plan_floorplan(device, placements)
 
 
@@ -150,7 +176,7 @@ def multi_cu_timing(
     Parameters
     ----------
     num_compute_units:
-        RKL compute units (``1..MAX_COMPUTE_UNITS``).
+        RKL compute units (``1..max_compute_units(device)``).
     num_nodes:
         Mesh nodes; elements are derived from the base design's
         polynomial order and balanced across CUs.
@@ -268,16 +294,18 @@ def multi_cu_timing_from_cosim(
 def scaling_table(
     num_nodes: int,
     base: AcceleratorDesign | None = None,
+    device: FPGADevice = ALVEO_U200,
 ) -> list[MultiCUTiming]:
-    """Closed-form timing at 1..MAX CUs for one mesh size.
+    """Closed-form timing at 1..max CUs for one mesh size.
 
-    Returns one :func:`multi_cu_timing` row per CU count, ready for
+    Returns one :func:`multi_cu_timing` row per CU count the device
+    admits (:func:`max_compute_units`), ready for
     :func:`render_scaling_table`.
     """
     base = base if base is not None else proposed_design()
     return [
-        multi_cu_timing(cus, num_nodes, base)
-        for cus in range(1, MAX_COMPUTE_UNITS + 1)
+        multi_cu_timing(cus, num_nodes, base, device)
+        for cus in range(1, max_compute_units(device) + 1)
     ]
 
 

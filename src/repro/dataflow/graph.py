@@ -118,6 +118,7 @@ class DataflowGraph:
         self._validate_spsc()
         self.topological_order()  # acyclicity
         self._validate_no_bypass()
+        self._validate_dependencies()
 
     def _validate_spsc(self) -> None:
         """Single-Producer-Single-Consumer per channel *pair*.
@@ -154,6 +155,33 @@ class DataflowGraph:
                     f"({buf.producer!r} -> {buf.consumer!r}) bypasses "
                     "intermediate tasks, violating the sequential-transfer rule"
                 )
+
+    def _validate_dependencies(self) -> None:
+        """Check kernel-sequencing dependencies (``Task.depends_on``).
+
+        Every named dependency must be a task of this graph, and the
+        combined precedence relation — buffer edges plus dependency
+        edges — must stay acyclic, or the gated tasks could never start.
+        """
+        graph = self.to_networkx()
+        for task in self.tasks.values():
+            for dep in task.depends_on:
+                if dep not in self.tasks:
+                    raise DataflowValidationError(
+                        f"graph {self.name!r}: task {task.name!r} depends on "
+                        f"unknown task {dep!r}"
+                    )
+                if dep == task.name:
+                    raise DataflowValidationError(
+                        f"graph {self.name!r}: task {task.name!r} depends on "
+                        "itself"
+                    )
+                graph.add_edge(dep, task.name)
+        if not nx.is_directed_acyclic_graph(graph):
+            raise DataflowValidationError(
+                f"graph {self.name!r}: buffer and dependency edges form a "
+                "cycle"
+            )
 
     # -- reporting ---------------------------------------------------------------
 

@@ -145,6 +145,9 @@ class DataflowSimulator:
 
         inputs = {name: graph.inputs_of(name) for name in graph.tasks}
         outputs = {name: graph.outputs_of(name) for name in graph.tasks}
+        # The task order is static: compute it once, not per event batch
+        # (rebuilding the networkx sort dominated large merged graphs).
+        start_order = graph.topological_order()
 
         # Payload execution: only tracked when some task computes.
         executing = any(t.action is not None for t in graph.tasks.values())
@@ -169,6 +172,12 @@ class DataflowSimulator:
                 return False, "busy"
             if started[name] >= counts[name]:
                 return False, "done"
+            # Kernel-sequencing dependencies gate the whole task: every
+            # named predecessor must have retired all its iterations
+            # (stalls attributed to the input side, like an empty FIFO).
+            for dep in graph.tasks[name].depends_on:
+                if finished[dep] < counts[dep]:
+                    return False, "input"
             for buf in inputs[name]:
                 if committed[buf.name] < 1:
                     return False, "input"
@@ -180,7 +189,7 @@ class DataflowSimulator:
         def try_start_all() -> bool:
             """Start every startable task; True if anything started."""
             progressed = False
-            for name in graph.topological_order():
+            for name in start_order:
                 ok, reason = can_start(name)
                 if ok:
                     iteration = started[name]

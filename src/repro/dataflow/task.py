@@ -44,16 +44,25 @@ class Task:
         :attr:`~repro.dataflow.simulator.SimulationTrace.sink_results`.
         Tasks without an action pass their single input payload through
         unchanged (``None`` for sources).
+    depends_on:
+        Kernel-sequencing dependencies: names of tasks that must retire
+        *all* their iterations before this task may start its first.
+        This is the host-runtime event ordering between separately
+        enqueued kernels (an RKL kernel must drain before the RKU kernel
+        launches) — a coarser coupling than the token-by-token FIFO of a
+        buffer, which is why it is not modeled as one.
     """
 
     name: str
     latency: int | LatencyModel
     kind: str = "compute"
     action: Callable[[int, tuple], object] | None = None
+    depends_on: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:
             raise DataflowError("task name must be non-empty")
+        self.depends_on = tuple(self.depends_on)
         if isinstance(self.latency, int) and self.latency < 1:
             raise DataflowError(
                 f"task {self.name!r}: latency must be >= 1, got {self.latency}"

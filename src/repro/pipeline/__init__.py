@@ -9,8 +9,11 @@ per-stage operation counts from it. Fusion levels are graph rewrites.
   and the lowering to :class:`~repro.dataflow.graph.DataflowGraph`;
 - :mod:`repro.pipeline.kernels` — the kernel registry and the bound
   :class:`PipelineContext`;
-- :mod:`repro.pipeline.navier_stokes` — the NS pipeline instances;
-- :mod:`repro.pipeline.rewrites` — gather-sharing and flux fusion;
+- :mod:`repro.pipeline.navier_stokes` — the NS (RKL) pipeline instances;
+- :mod:`repro.pipeline.rk_update` — the RK-update (RKU) node pipeline:
+  stage-combination axpy + primitive update, streamed per node block;
+- :mod:`repro.pipeline.rewrites` — gather-sharing, flux fusion, and
+  preallocated-buffer binding;
 - :mod:`repro.pipeline.executor` — functional, per-branch and
   (block-)streaming execution;
 - :mod:`repro.pipeline.opcounts` — per-stage operation counts.
@@ -24,12 +27,19 @@ from .kernels import (
     register_pipeline_kernel,
 )
 from .navier_stokes import element_pipeline, navier_stokes_pipeline
-from .rewrites import fuse_flux_divergence, share_loads
+from .rewrites import bind_stage_buffers, fuse_flux_divergence, share_loads
 from .executor import (
     assembled_total,
     element_residuals,
     run_pipeline,
     streaming_actions,
+)
+from .rk_update import (
+    RK_UPDATE_TASK_NAMES,
+    RKUpdateContext,
+    node_blocks,
+    rk_update_pipeline,
+    rk_update_streaming_actions,
 )
 from .opcounts import (
     pipeline_op_counts,
@@ -48,8 +58,14 @@ __all__ = [
     "register_pipeline_kernel",
     "element_pipeline",
     "navier_stokes_pipeline",
+    "bind_stage_buffers",
     "fuse_flux_divergence",
     "share_loads",
+    "RK_UPDATE_TASK_NAMES",
+    "RKUpdateContext",
+    "node_blocks",
+    "rk_update_pipeline",
+    "rk_update_streaming_actions",
     "assembled_total",
     "element_residuals",
     "run_pipeline",

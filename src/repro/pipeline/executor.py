@@ -161,6 +161,35 @@ def element_residuals(
 Action = Callable[[int, tuple], object]
 
 
+def role_group_exports(
+    pipeline: OperatorPipeline,
+) -> list[tuple[str, list[Stage], list[str]]]:
+    """Role groups plus the payloads each exports across group borders.
+
+    Shared plumbing of the streaming lowerings (the element stream here
+    and the RK-update node stream in :mod:`repro.pipeline.rk_update`):
+    per role group of :meth:`OperatorPipeline.role_groups`, the payloads
+    consumed by a *different* group are the ones that must travel
+    through the simulated inter-task buffers.
+    """
+    groups = pipeline.role_groups()
+    group_index = {
+        stage.name: idx
+        for idx, (_, stages) in enumerate(groups)
+        for stage in stages
+    }
+    plan: list[tuple[str, list[Stage], list[str]]] = []
+    for idx, (role, stages) in enumerate(groups):
+        exported: list[str] = []
+        for stage in stages:
+            for out in stage.outputs:
+                consumers = pipeline.consumers_of(out)
+                if any(group_index[c.name] != idx for c in consumers):
+                    exported.append(out)
+        plan.append((role, stages, exported))
+    return plan
+
+
 def streaming_actions(
     pipeline: OperatorPipeline,
     ctx: PipelineContext,
@@ -214,12 +243,6 @@ def streaming_actions(
         ]
     else:
         blocks = [np.asarray(block, dtype=np.int64) for block in blocks]
-    groups = pipeline.role_groups()
-    group_index = {
-        stage.name: idx
-        for idx, (_, stages) in enumerate(groups)
-        for stage in stages
-    }
     externals = pipeline.external_inputs()
     if len(externals) != 1:
         raise PipelineError(
@@ -228,18 +251,8 @@ def streaming_actions(
         )
     (state_payload,) = externals
 
-    def crossing_payloads(idx: int, stages: list[Stage]) -> list[str]:
-        names: list[str] = []
-        for stage in stages:
-            for out in stage.outputs:
-                consumers = pipeline.consumers_of(out)
-                if any(group_index[c.name] != idx for c in consumers):
-                    names.append(out)
-        return names
-
     actions: dict[str, Action] = {}
-    for idx, (role, stages) in enumerate(groups):
-        exported = crossing_payloads(idx, stages)
+    for role, stages, exported in role_group_exports(pipeline):
 
         def action(
             iteration: int,

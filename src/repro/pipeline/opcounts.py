@@ -10,6 +10,12 @@ Each pipeline kernel maps to the per-node building blocks of
 :mod:`repro.opcount` (annotated there with their arithmetic origin); a
 stage's count is its kernel's count scaled by the element's node count
 and the stage's ``num_fields`` parameter.
+
+Two pipeline families are priced: the RKL element pipeline (counts per
+*element*, ``(p + 1)**3`` nodes each) and the RK-update node pipeline of
+:mod:`repro.pipeline.rk_update` (counts per *node* — its stream token is
+a node, so no element scaling applies; the ``num_terms`` param scales
+the derivative-dependent stages).
 """
 
 from __future__ import annotations
@@ -77,6 +83,25 @@ def stage_op_count(stage: Stage, polynomial_order: int) -> OpCount:
         return pointwise.scaled(q) + gradient_per_node_per_field(n1).scaled(
             q * NUM_GRADIENT_FIELDS
         )
+    # -- RK-update node pipeline (counts per node, not per element) --------
+    terms = int(stage.param("num_terms", 1))
+    if kernel == "load_node_state":
+        # Stream the node's conserved set in.
+        return OpCount(dram_reads=NUM_FIELDS)
+    if kernel == "load_node_derivs":
+        # One derivative stream per combination term.
+        return OpCount(dram_reads=NUM_FIELDS * terms)
+    if kernel == "stage_axpy":
+        # One fused multiply-add per field per nonzero tableau entry
+        # (the dt scale folds into the streamed coefficients).
+        return OpCount(adds=NUM_FIELDS * terms, muls=NUM_FIELDS * terms)
+    if kernel == "update_primitives":
+        # u = m / rho (3 div), kinetic (6 ops), internal energy (1),
+        # T (1 div + 1 mul), p (1 mul) — the RKU kernel's arithmetic.
+        return OpCount(adds=3, muls=5, divs=4)
+    if kernel in ("store_node_state", "store_node_primitives"):
+        # Stream the node's updated set out.
+        return OpCount(dram_writes=NUM_FIELDS)
     raise PipelineError(
         f"stage {stage.name!r}: no op-count model for kernel {kernel!r}"
     )

@@ -2,8 +2,16 @@
 
 Per time step, the driver walks the four RK4 stages — each evaluating the
 diffusion and convection terms through the FEM operator — then performs
-the RKU-style update of the primitive set ``rho, u, T, E, p``. Phase
-attribution follows the paper's Fig. 2 categories:
+the RKU-style update of the primitive set ``rho, u, T, E, p``. Both
+halves of the step execute pipeline IR: the spatial operator runs its
+Navier-Stokes pipeline (inside
+:meth:`~repro.solver.navier_stokes.NavierStokesOperator.residual`) and
+the stage combinations plus the RKU primitive update run the
+:func:`~repro.pipeline.rk_update.rk_update_pipeline` instances via
+:func:`~repro.pipeline.executor.run_pipeline` — the same stage graphs
+the accelerator co-simulator streams
+(:func:`repro.accel.cosim.cosimulate_rk_stage`) and the workload model
+prices. Phase attribution follows the paper's Fig. 2 categories:
 
 - ``rk.diffusion`` / ``rk.convection`` — inside the operator;
 - ``rk.update`` — RK stage combinations (axpy) and the RKU primitive
@@ -22,6 +30,12 @@ from ..physics.diagnostics import kinetic_energy, total_mass
 from ..physics.gas import GasProperties
 from ..physics.state import NUM_CONSERVED, FlowState
 from ..physics.taylor_green import TGVCase, taylor_green_initial
+from ..pipeline import (
+    RKUpdateContext,
+    bind_stage_buffers,
+    rk_update_pipeline,
+    run_pipeline,
+)
 from ..timeint.butcher import RK4, ButcherTableau
 from ..timeint.cfl import stable_time_step
 from .navier_stokes import NavierStokesOperator
@@ -151,14 +165,43 @@ class Simulation:
             self.state = initial_state
             self.time = 0.0
             self._min_spacing, _ = self.operator.stable_dt_inputs(self.state)
-            # Preallocated RK stage-combination buffers, reused by every
-            # step (the accelerator's on-chip staging analogue): the
-            # accumulated increment, a scaled-derivative scratch, and the
-            # stage-state buffer the operator reads from.
+            # The RK-update pipelines the step executes: the
+            # combination-only variant for the intermediate stages and
+            # the full variant (axpy + RKU primitive update) for the
+            # step's end. Their preallocated buffers — reused by every
+            # step, the accelerator's on-chip staging analogue — are a
+            # graph rewrite (bind_stage_buffers), not a bespoke path.
             shape = (NUM_CONSERVED, mesh.num_nodes)
-            self._rk_increment = np.empty(shape)
-            self._rk_scratch = np.empty(shape)
-            self._rk_stage_state = np.empty(shape)
+            self._rk_buffers = {
+                "increment": np.empty(shape),
+                "scratch": np.empty(shape),
+                "stage_state": np.empty(shape),
+                "primitives": np.empty(shape),
+            }
+            bindings = {
+                "stage_axpy": {
+                    "acc": "increment",
+                    "scratch": "scratch",
+                    "out": "stage_state",
+                },
+                "store_state": {"out": "stage_state"},
+            }
+            self._rk_combine = bind_stage_buffers(
+                rk_update_pipeline(primitives=False), bindings
+            )
+            self._rk_update = bind_stage_buffers(
+                rk_update_pipeline(primitives=True),
+                {
+                    **bindings,
+                    "update_primitives": {"out": "primitives"},
+                    "store_primitives": {"out": "primitives"},
+                },
+            )
+            self._rku_ctx = RKUpdateContext(
+                gas=self.gas,
+                num_nodes=mesh.num_nodes,
+                buffers=self._rk_buffers,
+            )
 
     # -- stepping -------------------------------------------------------------
 
@@ -170,63 +213,64 @@ class Simulation:
             self._min_spacing, wave, nu, cfl=self.cfl
         )
 
-    def _accumulate_weighted(
-        self, derivs: list[np.ndarray], coeffs, out: np.ndarray
-    ) -> bool:
-        """``out = sum_k coeffs[k] * derivs[k]`` using the scratch buffer.
+    def _run_rk_update(
+        self,
+        pipeline,
+        y: np.ndarray,
+        derivs: list[np.ndarray],
+        coeffs,
+        dt: float,
+    ) -> np.ndarray:
+        """Execute one RK-update pipeline instance on the whole mesh.
 
-        Writes into the preallocated ``out`` without per-term temporaries;
-        returns False when every coefficient is zero (``out`` untouched).
+        Binds the step's external payloads and returns the combined
+        (stage or final) state, which lives in the preallocated
+        ``stage_state`` buffer when the combination is non-trivial.
         """
-        scratch = self._rk_scratch
-        first = True
-        for deriv, coeff in zip(derivs, coeffs):
-            if coeff == 0.0:
-                continue
-            if first:
-                np.multiply(deriv, coeff, out=out)
-                first = False
-            else:
-                np.multiply(deriv, coeff, out=scratch)
-                out += scratch
-        return not first
+        outputs = run_pipeline(
+            pipeline,
+            self._rku_ctx,
+            {"state": y, "derivs": derivs, "coeffs": coeffs, "dt": dt},
+            profiler=self.profiler,
+        )
+        return outputs["updated_state"]
 
     def step(self, dt: float) -> None:
         """Advance one RK step of size ``dt`` (the paper's RKL + RKU).
 
-        The stage-combination axpys run in the buffers preallocated at
-        construction, so the steady-state loop performs no per-stage
-        allocations beyond the residual evaluations themselves.
+        Each half runs its pipeline IR: the spatial operator evaluates
+        the stage derivatives through the Navier-Stokes pipeline, and
+        the stage combinations plus the final RKU primitive update
+        (``rho, u, T, E, p``) run the :mod:`repro.pipeline.rk_update`
+        instances — writing into the buffers the
+        ``bind_stage_buffers`` rewrite preallocated at construction, so
+        the steady-state loop performs no per-stage allocations beyond
+        the residual evaluations themselves.
         """
         if dt <= 0:
             raise SolverError(f"dt must be positive, got {dt}")
-        prof = self.profiler
         tableau = self.tableau
         y = self.state.as_stacked()
         stage_derivs: list[np.ndarray] = []
         for stage in range(tableau.num_stages):
-            with prof.phase("rk.update"):
-                y_stage = y
-                if stage > 0 and self._accumulate_weighted(
-                    stage_derivs, tableau.a[stage, :stage], self._rk_increment
-                ):
-                    np.multiply(self._rk_increment, dt, out=self._rk_stage_state)
-                    self._rk_stage_state += y
-                    y_stage = self._rk_stage_state
+            y_stage = y
+            if stage > 0 and np.any(tableau.a[stage, :stage] != 0.0):
+                y_stage = self._run_rk_update(
+                    self._rk_combine,
+                    y,
+                    stage_derivs,
+                    tableau.a[stage, :stage],
+                    dt,
+                )
             # The operator attributes its own rk.diffusion / rk.convection.
             stage_derivs.append(self.operator.residual(y_stage))
-        with prof.phase("rk.update"):
-            if self._accumulate_weighted(
-                stage_derivs, tableau.b, self._rk_increment
-            ):
-                y = y + dt * self._rk_increment
-            new_state = FlowState.from_stacked(y)
-            # RKU: re-derive the primitive set rho, u, T, E, p (the values
-            # the paper's RKU kernel writes back each step).
-            _ = new_state.velocity()
-            _ = new_state.temperature(self.gas)
-            _ = new_state.pressure(self.gas)
-        self.state = new_state
+        # RKU: the final combination and the primitive re-derivation
+        # (the values the paper's RKU kernel writes back each step, left
+        # in the "primitives" buffer as u, v, w, T, p).
+        updated = self._run_rk_update(
+            self._rk_update, y, stage_derivs, tableau.b, dt
+        )
+        self.state = FlowState.from_stacked(updated)
         self.time += dt
 
     def run(

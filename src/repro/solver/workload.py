@@ -79,37 +79,68 @@ def mass_inversion_per_node() -> OpCount:
     return OpCount(divs=NUM_FIELDS, dram_reads=NUM_FIELDS + 1, dram_writes=NUM_FIELDS)
 
 
-def rk_axpy_per_node(tableau: ButcherTableau) -> OpCount:
-    """RK stage combinations for one full step at one node.
+def _rk_combination_rows(tableau: ButcherTableau) -> list:
+    """The nonzero stage-combination rows one step applies.
 
-    Every nonzero tableau entry costs one fused multiply-add per field and
-    streams the corresponding derivative array.
+    One row per intermediate stage whose tableau coefficients are not
+    all zero, plus the final ``b`` combination — each becomes one
+    application of the ``rk-update[combine]`` pipeline.
     """
     import numpy as np
 
-    nnz = int(np.count_nonzero(tableau.a)) + int(np.count_nonzero(tableau.b))
-    return OpCount(
-        adds=nnz * NUM_FIELDS,
-        muls=nnz * NUM_FIELDS,
-        dram_reads=(nnz + tableau.num_stages) * NUM_FIELDS,
-        dram_writes=tableau.num_stages * NUM_FIELDS,
-    )
+    rows = [
+        tableau.a[stage, :stage]
+        for stage in range(1, tableau.num_stages)
+        if np.any(tableau.a[stage, :stage] != 0.0)
+    ]
+    rows.append(tableau.b)
+    return rows
+
+
+def rk_axpy_per_node(tableau: ButcherTableau) -> OpCount:
+    """RK stage combinations for one full step at one node.
+
+    Derived from the :func:`~repro.pipeline.rk_update.rk_update_pipeline`
+    IR: every combination row the tableau applies is one pass of the
+    combination-only pipeline, whose stage counts
+    (:func:`~repro.pipeline.opcounts.stage_op_count`) charge one fused
+    multiply-add per field per nonzero entry, stream each referenced
+    derivative in, and stream the combined state in and out.
+    """
+    import numpy as np
+
+    from ..pipeline.opcounts import stage_op_count
+    from ..pipeline.rk_update import rk_update_pipeline
+
+    total = OpCount()
+    for row in _rk_combination_rows(tableau):
+        pipeline = rk_update_pipeline(
+            primitives=False, num_terms=int(np.count_nonzero(row))
+        )
+        for stage in pipeline.topological_order():
+            total = total + stage_op_count(stage, 1)
+    return total
 
 
 def rku_update_per_node() -> OpCount:
     """The RKU kernel's primitive update ``rho, u, T, E, p`` at one node.
 
-    ``u = m / rho`` (3 div), kinetic (6 ops), internal energy (1), T
-    (1 div + 1 mul), p (1 mul); reads the 5 conserved values, writes the
-    5 primitive outputs (3 velocity components, T, p).
+    Derived from the primitive-update slice of the
+    :func:`~repro.pipeline.rk_update.rk_update_pipeline` IR: the
+    ``update_primitives`` arithmetic (``u = m / rho``, kinetic, internal
+    energy, T, p) plus the node's conserved-set read and primitive-set
+    write — so the accelerator's RKU kernel model
+    (:mod:`repro.accel.kernels`) prices exactly the stages the solver
+    executes.
     """
-    return OpCount(
-        adds=3,
-        muls=5,
-        divs=4,
-        dram_reads=NUM_FIELDS,
-        dram_writes=NUM_FIELDS,
-    )
+    from ..pipeline.opcounts import stage_op_count
+    from ..pipeline.rk_update import rk_update_pipeline
+
+    pipeline = rk_update_pipeline(primitives=True)
+    total = OpCount()
+    for name in ("load_state", "update_primitives", "store_primitives"):
+        total = total + stage_op_count(pipeline.stage(name), 1)
+    return total
 
 
 def non_rk_per_node() -> OpCount:

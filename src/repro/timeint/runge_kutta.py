@@ -18,26 +18,54 @@ from .butcher import ButcherTableau
 RHSFunc = Callable[[float, np.ndarray], np.ndarray]
 
 
+def _accumulate_weighted(
+    derivs: list[np.ndarray], coeffs, out: np.ndarray, scratch: np.ndarray
+) -> bool:
+    """``out = sum_k coeffs[k] * derivs[k]`` without per-term temporaries.
+
+    The naive ``acc = acc + coeff * deriv`` accumulation allocates two
+    arrays per nonzero tableau entry — O(stages^2) temporaries per step
+    once every stage row is combined. Reusing one accumulator and one
+    scratch buffer across the whole step keeps the arithmetic (and its
+    floating-point evaluation order) identical while allocating exactly
+    two buffers per step. Returns False when every coefficient is zero
+    (``out`` untouched).
+    """
+    first = True
+    for deriv, coeff in zip(derivs, coeffs):
+        c = float(coeff)
+        if c == 0.0:
+            continue
+        if first:
+            np.multiply(deriv, c, out=out)
+            first = False
+        else:
+            np.multiply(deriv, c, out=scratch)
+            out += scratch
+    return not first
+
+
 def rk_step(
     rhs: RHSFunc, t: float, y: np.ndarray, dt: float, tableau: ButcherTableau
 ) -> np.ndarray:
     """One explicit RK step from ``(t, y)`` with step size ``dt``.
 
-    Returns the new state; ``y`` is not modified.
+    Returns the new state; ``y`` is not modified. Stage-increment
+    accumulation runs in two buffers reused across the stages (see
+    :func:`_accumulate_weighted`).
     """
     if dt <= 0:
         raise TimeIntegrationError(f"dt must be positive, got {dt}")
     y = np.asarray(y, dtype=np.float64)
     num_stages = tableau.num_stages
+    increment = np.empty_like(y)
+    scratch = np.empty_like(y)
     stage_derivs: list[np.ndarray] = []
     for stage in range(num_stages):
         y_stage = y
-        if stage > 0:
-            increment = np.zeros_like(y)
-            for prev in range(stage):
-                coeff = tableau.a[stage, prev]
-                if coeff != 0.0:
-                    increment = increment + coeff * stage_derivs[prev]
+        if stage > 0 and _accumulate_weighted(
+            stage_derivs, tableau.a[stage, :stage], increment, scratch
+        ):
             y_stage = y + dt * increment
         stage_derivs.append(
             np.asarray(rhs(t + tableau.c[stage] * dt, y_stage), dtype=np.float64)
@@ -46,7 +74,8 @@ def rk_step(
     for stage in range(num_stages):
         weight = tableau.b[stage]
         if weight != 0.0:
-            result = result + dt * weight * stage_derivs[stage]
+            np.multiply(stage_derivs[stage], dt * weight, out=scratch)
+            result += scratch
     return result
 
 
@@ -68,15 +97,14 @@ def rk_step_stacked(
     if dt <= 0:
         raise TimeIntegrationError(f"dt must be positive, got {dt}")
     y = np.asarray(y, dtype=np.float64)
+    increment = np.empty_like(y)
+    scratch = np.empty_like(y)
     stage_derivs: list[np.ndarray] = []
     for stage in range(tableau.num_stages):
         y_stage = y
-        if stage > 0:
-            increment = np.zeros_like(y)
-            for prev in range(stage):
-                coeff = tableau.a[stage, prev]
-                if coeff != 0.0:
-                    increment = increment + coeff * stage_derivs[prev]
+        if stage > 0 and _accumulate_weighted(
+            stage_derivs, tableau.a[stage, :stage], increment, scratch
+        ):
             y_stage = y + dt * increment
         if post_stage is not None:
             post_stage(y_stage)
@@ -87,7 +115,8 @@ def rk_step_stacked(
     for stage in range(tableau.num_stages):
         weight = tableau.b[stage]
         if weight != 0.0:
-            result = result + dt * weight * stage_derivs[stage]
+            np.multiply(stage_derivs[stage], dt * weight, out=scratch)
+            result += scratch
     if post_stage is not None:
         post_stage(result)
     return result

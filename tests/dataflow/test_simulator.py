@@ -246,3 +246,91 @@ class TestPayloadExecution:
     def test_without_actions_no_sink_results(self):
         trace = DataflowSimulator(chain((2, 2))).run(4)
         assert trace.sink_results == {}
+
+
+class TestKernelSequencingDependencies:
+    """``Task.depends_on``: a chain may not start until the named tasks
+    retired ALL their iterations — the host-runtime event ordering
+    between separately enqueued kernels (RKL drains, then RKU launches),
+    which is what sequences the full-RK-step co-simulation's chains
+    under one clock."""
+
+    @staticmethod
+    def two_chains(dep=True):
+        g = DataflowGraph("two-kernels")
+        g.chain([Task("a.load", 4), Task("a.store", 4)])
+        g.chain(
+            [
+                Task(
+                    "b.load", 3, depends_on=("a.store",) if dep else ()
+                ),
+                Task("b.store", 3),
+            ]
+        )
+        return g
+
+    def test_dependent_chain_waits_for_full_drain(self):
+        g = self.two_chains()
+        trace = DataflowSimulator(g).run({"a.load": 5, "a.store": 5,
+                                          "b.load": 2, "b.store": 2})
+        a_drain = trace.stats("a.store").last_finish
+        assert trace.stats("b.load").first_start >= a_drain
+        # and not a cycle later than needed
+        assert trace.stats("b.load").first_start == a_drain
+
+    def test_without_dependency_chains_overlap(self):
+        g = self.two_chains(dep=False)
+        trace = DataflowSimulator(g).run({"a.load": 5, "a.store": 5,
+                                          "b.load": 2, "b.store": 2})
+        assert trace.stats("b.load").first_start == 0
+
+    def test_dependency_stall_attributed_to_input(self):
+        g = self.two_chains()
+        trace = DataflowSimulator(g).run({"a.load": 5, "a.store": 5,
+                                          "b.load": 2, "b.store": 2})
+        assert trace.stats("b.load").input_stall_cycles > 0
+
+    def test_unknown_dependency_rejected(self):
+        g = DataflowGraph("bad-dep")
+        g.add_task(Task("only", 1, depends_on=("ghost",)))
+        with pytest.raises(Exception) as excinfo:
+            g.validate()
+        assert "unknown task" in str(excinfo.value)
+
+    def test_self_dependency_rejected(self):
+        g = DataflowGraph("self-dep")
+        g.add_task(Task("only", 1, depends_on=("only",)))
+        with pytest.raises(Exception) as excinfo:
+            g.validate()
+        assert "itself" in str(excinfo.value)
+
+    def test_dependency_cycle_rejected(self):
+        g = DataflowGraph("dep-cycle")
+        g.add_task(Task("x", 1, depends_on=("y",)))
+        g.add_task(Task("y", 1, depends_on=("x",)))
+        with pytest.raises(Exception) as excinfo:
+            g.validate()
+        assert "cycle" in str(excinfo.value)
+
+    def test_payloads_flow_through_sequenced_chains(self):
+        """A producer chain fills a shared buffer; the dependent chain
+        reads it — the full-step co-simulation's staging pattern."""
+        staged = []
+        shared = {"value": None}
+
+        def produce(iteration, inputs):
+            shared["value"] = iteration
+            return None
+
+        def consume(iteration, inputs):
+            staged.append(shared["value"])
+            return None
+
+        g = DataflowGraph("staged")
+        g.add_task(Task("producer", 2, action=produce))
+        g.add_task(
+            Task("consumer", 2, action=consume, depends_on=("producer",))
+        )
+        DataflowSimulator(g).run({"producer": 3, "consumer": 1})
+        # the consumer saw the producer's LAST iteration
+        assert staged == [2]

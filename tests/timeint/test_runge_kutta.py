@@ -88,3 +88,63 @@ class TestPostStageHook:
             decay, 0.0, np.array([1.0]), 0.1, RK4, post_stage=lambda y: None
         )
         assert np.allclose(plain, hooked)
+
+
+class TestBufferedAccumulationParity:
+    """The in-place stage-increment accumulation (reused increment /
+    scratch buffers instead of O(stages^2) temporaries) must reproduce
+    the naive formulation exactly — same floating-point evaluation
+    order, bit-for-bit equal results."""
+
+    @staticmethod
+    def _naive_rk_step(rhs, t, y, dt, tableau):
+        """The pre-refactor allocation-per-term reference."""
+        y = np.asarray(y, dtype=np.float64)
+        stage_derivs = []
+        for stage in range(tableau.num_stages):
+            y_stage = y
+            if stage > 0:
+                increment = np.zeros_like(y)
+                for prev in range(stage):
+                    coeff = tableau.a[stage, prev]
+                    if coeff != 0.0:
+                        increment = increment + coeff * stage_derivs[prev]
+                y_stage = y + dt * increment
+            stage_derivs.append(
+                np.asarray(
+                    rhs(t + tableau.c[stage] * dt, y_stage), dtype=np.float64
+                )
+            )
+        result = y.copy()
+        for stage in range(tableau.num_stages):
+            weight = tableau.b[stage]
+            if weight != 0.0:
+                result = result + dt * weight * stage_derivs[stage]
+        return result
+
+    @pytest.mark.parametrize(
+        "tableau",
+        [FORWARD_EULER, HEUN2, SSP_RK3, RK4, RK4_38],
+        ids=lambda t: t.name,
+    )
+    def test_bitwise_parity_with_naive_reference(self, tableau):
+        rng = np.random.default_rng(20260730)
+        y0 = rng.normal(size=(5, 17))
+
+        def rhs(t, y):
+            return np.sin(y) - 0.37 * y + t
+
+        got = rk_step(rhs, 0.2, y0, 0.013, tableau)
+        want = self._naive_rk_step(rhs, 0.2, y0, 0.013, tableau)
+        assert np.array_equal(got, want)
+
+    def test_stacked_bitwise_parity(self):
+        rng = np.random.default_rng(7)
+        y0 = rng.normal(size=(5, 11))
+
+        def rhs(t, y):
+            return -y * np.abs(y)
+
+        got = rk_step_stacked(rhs, 0.0, y0, 0.02, RK4)
+        want = self._naive_rk_step(rhs, 0.0, y0, 0.02, RK4)
+        assert np.array_equal(got, want)

@@ -38,7 +38,9 @@ SMOKE_ARGS: dict[str, list[str]] = {
     "profile_breakdown.py": ["3", "2"],
     "accelerator_dse.py": [],
     "scaling_study.py": [],
-    "functional_cosim.py": ["2", "3", "--block-size", "4", "--num-cus", "2"],
+    "functional_cosim.py": [
+        "2", "3", "--block-size", "4", "--num-cus", "2", "--full-step",
+    ],
 }
 
 #: Per-example wall-clock budget in seconds (CI runners are slow).
