@@ -19,13 +19,20 @@ step: every stage's RKL element stream chains into the RK-update node
 stream (the ``repro.pipeline.rk_update`` pipeline) under one simulator
 clock, the streamed final state is checked against the functional
 ``Simulation.step``, and the RKU cycles come from the trace instead of
-only the closed form.
+only the closed form. ``--num-steps`` chains several steps under that
+one clock.
+
+``--engine`` selects the dataflow simulation engine: the per-token
+``event`` oracle, the ``vectorized`` schedule engine (array recurrences
+plus batched payload execution — the default via ``auto``), whose
+traces are identical.
 
 Usage::
 
     python examples/functional_cosim.py [elements_per_direction] [order] \
         [--backend reference|fast] [--case tgv|channel] \
-        [--block-size B] [--num-cus N] [--full-step]
+        [--block-size B] [--num-cus N] [--full-step] [--num-steps K] \
+        [--engine event|vectorized|auto]
 """
 
 from __future__ import annotations
@@ -67,6 +74,20 @@ def main() -> None:
         help="also co-simulate a complete RK time step (RKL chained "
         "into the RKU node stream under one clock)",
     )
+    parser.add_argument(
+        "--num-steps",
+        type=int,
+        default=1,
+        help="with --full-step: RK time steps chained under one "
+        "simulator clock",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("event", "vectorized", "auto"),
+        default="auto",
+        help="dataflow simulation engine: the per-token event oracle, "
+        "the vectorized schedule engine, or auto (default)",
+    )
     add_backend_argument(parser)
     args = parser.parse_args()
     backend = resolve_backend_name(args.backend)
@@ -91,7 +112,8 @@ def main() -> None:
     print(
         f"== co-simulating {args.case} on {mesh.num_elements} elements "
         f"({mesh.num_nodes} nodes, p={args.order}), backend '{backend}', "
-        f"block size {args.block_size}, {args.num_cus} CU(s) =="
+        f"block size {args.block_size}, {args.num_cus} CU(s), "
+        f"engine '{args.engine}' =="
     )
     result = cosimulate_small_mesh(
         design,
@@ -102,6 +124,7 @@ def main() -> None:
         initial_state=initial_state,
         block_size=args.block_size,
         num_cus=args.num_cus,
+        engine=args.engine,
     )
     print(result.trace.report())
     print()
@@ -140,8 +163,8 @@ def main() -> None:
 
         print()
         print(
-            "== full RK step: RKL element streams chained into the RKU "
-            "node stream =="
+            f"== full RK step x{args.num_steps}: RKL element streams "
+            "chained into the RKU node stream =="
         )
         step = cosimulate_rk_stage(
             design,
@@ -151,10 +174,12 @@ def main() -> None:
             initial_state=initial_state,
             block_size=args.block_size,
             num_cus=args.num_cus,
+            num_steps=args.num_steps,
+            engine=args.engine,
         )
         print(
-            f"streamed step vs Simulation.step: max rel err "
-            f"{step.state_max_rel_err:.2e} (dt {step.dt:.3e})"
+            f"streamed {step.num_steps} step(s) vs Simulation.step: "
+            f"max rel err {step.state_max_rel_err:.2e} (dt {step.dt:.3e})"
         )
         print(f"per-stage RKL cycles: {step.per_stage_rkl_cycles}")
         print(

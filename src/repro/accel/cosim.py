@@ -50,6 +50,7 @@ import numpy as np
 from ..config import seconds_from_cycles
 from ..dataflow.graph import DataflowGraph, merge_graphs
 from ..dataflow.simulator import DataflowSimulator, SimulationTrace
+from ..dataflow.task import BlockLatency, Task
 from ..errors import ExperimentError
 from ..mesh.hexmesh import HexMesh, elements_for_node_count
 from ..mesh.partition import element_blocks, partition_elements_balanced
@@ -372,6 +373,7 @@ def streamed_residual(
     block_size: int = 1,
     num_cus: int = 1,
     partitions=None,
+    engine: str = "auto",
 ) -> tuple[np.ndarray, SimulationTrace]:
     """One right-hand side evaluated *through* the cycle simulator.
 
@@ -413,6 +415,11 @@ def streamed_residual(
     partitions:
         Explicit element shards (1-D index arrays), one per CU; must
         cover every mesh element exactly once.
+    engine:
+        Simulation engine
+        (:meth:`~repro.dataflow.simulator.DataflowSimulator.run`);
+        the default ``"auto"`` resolves to the vectorized schedule
+        engine, since the streaming actions carry batched forms.
 
     Returns
     -------
@@ -472,7 +479,7 @@ def streamed_residual(
         graph = merge_graphs(
             f"rkl-{design.options.name}-{num_cus}cu", subgraphs
         )
-    trace = DataflowSimulator(graph).run(iterations)
+    trace = DataflowSimulator(graph).run(iterations, engine=engine)
     # Reduce the per-CU partial residuals before finalization.
     total = accumulators[0]
     for accumulator in accumulators[1:]:
@@ -517,6 +524,7 @@ def cosimulate_small_mesh(
     initial_state: FlowState | None = None,
     block_size: int = 1,
     num_cus: int = 1,
+    engine: str = "auto",
 ) -> CosimResult:
     """Run functional solve + payload-carrying cycle simulation on one mesh.
 
@@ -550,6 +558,9 @@ def cosimulate_small_mesh(
         Compute units the element stream is sharded over; the analytic
         reference becomes the max over CUs of the per-CU block law, and
         ``per_cu_cycles`` records each CU's drain cycle.
+    engine:
+        Simulation engine, forwarded to :func:`streamed_residual`
+        (``"auto"`` resolves to the vectorized schedule engine).
 
     Returns
     -------
@@ -577,6 +588,7 @@ def cosimulate_small_mesh(
         initial_stacked,
         block_size=block_size,
         num_cus=num_cus,
+        engine=engine,
     )
     scale = float(np.abs(expected).max())
     residual_err = float(np.abs(streamed - expected).max()) / (
@@ -612,26 +624,83 @@ def cosimulate_small_mesh(
 # ---------------------------------------------------------------------------
 
 
-def _with_fill_cycles(task, fill: float) -> None:
-    """Add a kernel-launch fill to a task's iteration-0 latency.
+def _latency_with_fill(base, fill: float):
+    """A task latency with a kernel-launch fill on iteration 0.
 
     The RKU closed form charges the five update loops' pipeline depths
     (plus SLL crossings) once per launch; the streamed chain pays the
-    same constant on its first token.
+    same constant on its first token. Constant and block-scaled models
+    stay :class:`~repro.dataflow.task.BlockLatency` instances so the
+    vectorized schedule engine can still evaluate them in bulk.
     """
-    base = task.latency
     extra = max(0, round(fill))
+    if extra == 0:
+        return base
+    if isinstance(base, BlockLatency):
+        return BlockLatency(
+            base.cycles_per_unit, base.sizes, base.first_extra + extra
+        )
     if callable(base):
 
         def latency(iteration: int, base=base, extra=extra) -> int:
             return int(base(iteration)) + (extra if iteration == 0 else 0)
 
-    else:
+        return latency
+    return BlockLatency(int(base), None, extra)
 
-        def latency(iteration: int, base=int(base), extra=extra) -> int:
-            return base + (extra if iteration == 0 else 0)
 
-    task.latency = latency
+class _ChainTemplate:
+    """One streamed task chain, lowered once and instantiated cheaply.
+
+    The full-step co-simulation runs the *same* chain structure many
+    times — one RKL chain per compute unit per RK stage (per step), one
+    combination chain per stage — differing only in task names, payload
+    actions and sequencing. Lowering the operator pipeline once per
+    distinct structure (per-CU block sizes, node block sizes) and
+    rebinding per instance removes the per-stage ``to_task_graph`` /
+    role-grouping cost from the hot path.
+    """
+
+    def __init__(
+        self,
+        pipeline: OperatorPipeline,
+        stage_cycles,
+        block_sizes=None,
+    ) -> None:
+        lowered = pipeline.to_task_graph(
+            stage_cycles, name="template", block_sizes=block_sizes
+        )
+        self.spec = [
+            (lowered.tasks[name].kind, lowered.tasks[name].latency)
+            for name in lowered.topological_order()
+        ]
+
+    def instantiate(
+        self,
+        task_names,
+        actions,
+        name: str,
+        depends_on: tuple[str, ...] = (),
+        fill_cycles: float = 0.0,
+    ) -> DataflowGraph:
+        """A fresh graph with this chain's structure and latencies."""
+        tasks = [
+            Task(
+                task_names[role],
+                (
+                    _latency_with_fill(latency, fill_cycles)
+                    if index == 0
+                    else latency
+                ),
+                kind=role,
+                action=None if actions is None else actions.get(role),
+                depends_on=depends_on if index == 0 else (),
+            )
+            for index, (role, latency) in enumerate(self.spec)
+        ]
+        graph = DataflowGraph(name=name)
+        graph.chain(tasks)
+        return graph
 
 
 def _rku_task_names(prefix: str) -> dict[str, str]:
@@ -664,9 +733,12 @@ class RKStepCosimResult:
     #: functional :meth:`repro.solver.simulation.Simulation.step`.
     state_max_rel_err: float
     #: Per-RK-stage RKL cycles (first LOAD start to last STORE finish,
-    #: max over compute units) on the shared clock.
+    #: max over compute units) on the shared clock; for a multi-step run
+    #: the stage windows of every step, in step order
+    #: (``num_steps * num_stages`` entries).
     per_stage_rkl_cycles: tuple[int, ...]
-    #: RKU chain cycles measured on the trace (final update only).
+    #: RKU chain cycles measured on the trace (the last step's final
+    #: update).
     rku_simulated_cycles: int
     #: The closed-form :meth:`AcceleratorDesign.rku_step_cycles`.
     rku_analytic_cycles: float
@@ -675,6 +747,8 @@ class RKStepCosimResult:
     node_block_size: int = 1
     #: Elements of the co-simulated mesh (across all compute units).
     num_elements: int = 0
+    #: Time steps chained under the one simulator clock.
+    num_steps: int = 1
 
     @property
     def simulated_cycles(self) -> int:
@@ -711,6 +785,8 @@ def cosimulate_rk_stage(
     partitions=None,
     node_block_size: int = 32,
     tableau: ButcherTableau = RK4,
+    num_steps: int = 1,
+    engine: str = "auto",
 ) -> RKStepCosimResult:
     """Co-simulate one complete RK time step: RKL streamed into RKU.
 
@@ -752,17 +828,26 @@ def cosimulate_rk_stage(
         percent of the closed form.
     tableau:
         The RK scheme to step.
+    num_steps:
+        Time steps to chain under the one simulator clock: each step's
+        first RKL streams are sequenced behind the previous step's RKU
+        store, so multi-step runs expose the steady-state behaviour of
+        the whole method (all steps use the first step's ``dt``).
+    engine:
+        Simulation engine
+        (:meth:`~repro.dataflow.simulator.DataflowSimulator.run`);
+        ``"auto"`` resolves to the vectorized schedule engine.
 
     Returns
     -------
     RKStepCosimResult
-        Functional + timing outcome of the streamed step.
+        Functional + timing outcome of the streamed step(s).
 
     Raises
     ------
     ExperimentError
         On invalid ``block_size``/``num_cus``/``partitions``, as in
-        :func:`streamed_residual`.
+        :func:`streamed_residual`, or ``num_steps < 1``.
     """
     from ..physics.taylor_green import DEFAULT_TGV
     from ..solver.simulation import Simulation
@@ -773,6 +858,8 @@ def cosimulate_rk_stage(
         raise ExperimentError("block_size must be >= 1")
     if node_block_size < 1:
         raise ExperimentError("node_block_size must be >= 1")
+    if num_steps < 1:
+        raise ExperimentError("num_steps must be >= 1")
     sim = Simulation(
         mesh, case, tableau=tableau, backend=backend,
         initial_state=initial_state,
@@ -794,138 +881,159 @@ def cosimulate_rk_stage(
     rkl_pipeline = element_pipeline()
     combine_pipeline = rk_update_pipeline(primitives=False)
     update_pipeline = rk_update_pipeline(primitives=True)
-    combine_cycles = design.rku_pipeline_stage_cycles(
-        combine_pipeline, num_nodes
-    )
-    update_cycles = design.rku_pipeline_stage_cycles(update_pipeline, num_nodes)
     rku_fill = design.rku_fill_cycles()
 
-    # Whole-mesh staging arrays the chains hand to one another: the
-    # finalized stage derivatives, the combined stage states the RKL
-    # streams read, and the step's outputs.
-    shape = (NUM_CONSERVED, num_nodes)
-    derivs = [np.zeros(shape) for _ in range(num_stages)]
-    stage_states: list[np.ndarray] = [y0]
-    stage_states += [np.empty(shape) for _ in range(num_stages - 1)]
-    accumulators = [
-        [np.zeros(shape) for _ in partitions] for _ in range(num_stages)
+    # The streaming lowerings, built ONCE: the task-chain structure and
+    # latencies are identical across RK stages (and steps) — only names,
+    # actions and sequencing differ per instance.
+    rkl_stage_cycles = design.pipeline_stage_cycles(rkl_pipeline, nodes_per_cu)
+    element_tokens = [element_blocks(part, block_size) for part in partitions]
+    rkl_templates = [
+        _ChainTemplate(
+            rkl_pipeline,
+            rkl_stage_cycles,
+            block_sizes=(
+                None
+                if block_size == 1
+                else [block.size for block in tokens]
+            ),
+        )
+        for tokens in element_tokens
     ]
-    out_state = np.empty(shape)
-    out_primitives = np.empty(shape)
-
-    def finalizer(stage: int):
-        """Finalize stage ``stage``'s derivative when its consumer
-        launches: reduce the per-CU partials, invert the mass, apply
-        wall conditions — at the simulated instant the next kernel
-        starts, after the dependency guaranteed the RKL drain."""
-
-        def prepare() -> None:
-            total = accumulators[stage][0]
-            for accumulator in accumulators[stage][1:]:
-                total = total + accumulator
-            derivs[stage][:] = operator.finalize_residual(total)
-
-        return prepare
+    combine_template = _ChainTemplate(
+        combine_pipeline,
+        design.rku_pipeline_stage_cycles(combine_pipeline, num_nodes),
+        block_sizes=node_sizes,
+    )
+    update_template = _ChainTemplate(
+        update_pipeline,
+        design.rku_pipeline_stage_cycles(update_pipeline, num_nodes),
+        block_sizes=node_sizes,
+    )
 
     subgraphs: list[DataflowGraph] = []
     iterations: dict[str, int] = {}
     previous_drain: tuple[str, ...] = ()
-    for stage in range(num_stages):
-        if stage > 0:
-            # Stage-combination node stream: y_s = y + dt * sum(a_sk d_k).
-            names = _rku_task_names(f"s{stage}.update")
-            actions = rk_update_streaming_actions(
-                combine_pipeline,
-                rku_ctx,
-                y0,
-                derivs[:stage],
-                tableau.a[stage, :stage],
-                dt,
-                out_state=stage_states[stage],
-                blocks=blocks,
-                prepare=finalizer(stage - 1),
-            )
-            graph = combine_pipeline.to_task_graph(
-                combine_cycles,
-                task_names=names,
-                actions=actions,
-                name=f"rkstep-{design.options.name}-s{stage}-update",
-                block_sizes=node_sizes,
-            )
-            graph.tasks[names["load"]].depends_on = previous_drain
-            _with_fill_cycles(graph.tasks[names["load"]], rku_fill)
-            for task_name in graph.tasks:
-                iterations[task_name] = len(blocks)
-            subgraphs.append(graph)
-            previous_drain = (names["store"],)
-        # RKL element streams of this stage, one chain per compute unit.
-        drains: list[str] = []
-        for cu, part in enumerate(partitions):
-            element_tokens = element_blocks(part, block_size)
-            names = {
-                role: f"s{stage}.cu{cu}.{base}"
-                for role, base in DEFAULT_TASK_NAMES.items()
-            }
-            actions = streaming_actions(
-                rkl_pipeline,
-                ctx,
-                stage_states[stage],
-                accumulators[stage][cu],
-                blocks=element_tokens,
-            )
-            graph = build_rkl_dataflow_graph(
-                design,
-                nodes_per_cu,
-                pipeline=rkl_pipeline,
-                actions=actions,
-                block_sizes=(
-                    None
-                    if block_size == 1
-                    else [block.size for block in element_tokens]
-                ),
-                task_names=names,
-                name=f"rkstep-{design.options.name}-s{stage}-cu{cu}",
-            )
-            graph.tasks[names["load"]].depends_on = previous_drain
-            for task_name in graph.tasks:
-                iterations[task_name] = len(element_tokens)
-            drains.append(names["store"])
-            subgraphs.append(graph)
-        previous_drain = tuple(drains)
-    # The final RKU chain: b-row combination + primitive update.
-    names = _rku_task_names("rku")
-    actions = rk_update_streaming_actions(
-        update_pipeline,
-        rku_ctx,
-        y0,
-        derivs,
-        tableau.b,
-        dt,
-        out_state=out_state,
-        out_primitives=out_primitives,
-        blocks=blocks,
-        prepare=finalizer(num_stages - 1),
-    )
-    graph = update_pipeline.to_task_graph(
-        update_cycles,
-        task_names=names,
-        actions=actions,
-        name=f"rkstep-{design.options.name}-rku",
-        block_sizes=node_sizes,
-    )
-    graph.tasks[names["load"]].depends_on = previous_drain
-    _with_fill_cycles(graph.tasks[names["load"]], rku_fill)
-    for task_name in graph.tasks:
-        iterations[task_name] = len(blocks)
-    subgraphs.append(graph)
+    out_state = y0
+    out_primitives = np.empty((NUM_CONSERVED, num_nodes))
+    shape = (NUM_CONSERVED, num_nodes)
+    for step in range(num_steps):
+        prefix = "" if num_steps == 1 else f"k{step}."
+        # Whole-mesh staging arrays this step's chains hand to one
+        # another: the finalized stage derivatives, the combined stage
+        # states the RKL streams read, and the step's outputs. The
+        # previous step's output state is this step's base state.
+        y_step = out_state
+        derivs = [np.zeros(shape) for _ in range(num_stages)]
+        stage_states: list[np.ndarray] = [y_step]
+        stage_states += [np.empty(shape) for _ in range(num_stages - 1)]
+        accumulators = [
+            [np.zeros(shape) for _ in partitions] for _ in range(num_stages)
+        ]
+        out_state = np.empty(shape)
+        out_primitives = np.empty(shape)
+
+        def finalizer(stage: int, accumulators=accumulators, derivs=derivs):
+            """Finalize stage ``stage``'s derivative when its consumer
+            launches: reduce the per-CU partials, invert the mass, apply
+            wall conditions — at the simulated instant the next kernel
+            starts, after the dependency guaranteed the RKL drain."""
+
+            def prepare() -> None:
+                total = accumulators[stage][0]
+                for accumulator in accumulators[stage][1:]:
+                    total = total + accumulator
+                derivs[stage][:] = operator.finalize_residual(total)
+
+            return prepare
+
+        for stage in range(num_stages):
+            if stage > 0:
+                # Stage-combination node stream:
+                # y_s = y + dt * sum(a_sk d_k).
+                names = _rku_task_names(f"{prefix}s{stage}.update")
+                actions = rk_update_streaming_actions(
+                    combine_pipeline,
+                    rku_ctx,
+                    y_step,
+                    derivs[:stage],
+                    tableau.a[stage, :stage],
+                    dt,
+                    out_state=stage_states[stage],
+                    blocks=blocks,
+                    prepare=finalizer(stage - 1),
+                )
+                graph = combine_template.instantiate(
+                    names,
+                    actions,
+                    name=f"rkstep-{design.options.name}-{prefix}s{stage}-update",
+                    depends_on=previous_drain,
+                    fill_cycles=rku_fill,
+                )
+                for task_name in graph.tasks:
+                    iterations[task_name] = len(blocks)
+                subgraphs.append(graph)
+                previous_drain = (names["store"],)
+            # RKL element streams of this stage, one chain per CU.
+            drains: list[str] = []
+            for cu in range(num_cus):
+                names = {
+                    role: f"{prefix}s{stage}.cu{cu}.{base}"
+                    for role, base in DEFAULT_TASK_NAMES.items()
+                }
+                actions = streaming_actions(
+                    rkl_pipeline,
+                    ctx,
+                    stage_states[stage],
+                    accumulators[stage][cu],
+                    blocks=element_tokens[cu],
+                )
+                graph = rkl_templates[cu].instantiate(
+                    names,
+                    actions,
+                    name=f"rkstep-{design.options.name}-{prefix}s{stage}-cu{cu}",
+                    depends_on=previous_drain,
+                )
+                for task_name in graph.tasks:
+                    iterations[task_name] = len(element_tokens[cu])
+                drains.append(names["store"])
+                subgraphs.append(graph)
+            previous_drain = tuple(drains)
+        # The step's final RKU chain: b-row combination + primitive
+        # update.
+        names = _rku_task_names(f"{prefix}rku")
+        actions = rk_update_streaming_actions(
+            update_pipeline,
+            rku_ctx,
+            y_step,
+            derivs,
+            tableau.b,
+            dt,
+            out_state=out_state,
+            out_primitives=out_primitives,
+            blocks=blocks,
+            prepare=finalizer(num_stages - 1),
+        )
+        graph = update_template.instantiate(
+            names,
+            actions,
+            name=f"rkstep-{design.options.name}-{prefix}rku",
+            depends_on=previous_drain,
+            fill_cycles=rku_fill,
+        )
+        for task_name in graph.tasks:
+            iterations[task_name] = len(blocks)
+        subgraphs.append(graph)
+        previous_drain = (names["store"],)
 
     merged = merge_graphs(
         f"rkstep-{design.options.name}-{num_cus}cu", subgraphs
     )
-    trace = DataflowSimulator(merged).run(iterations)
+    trace = DataflowSimulator(merged).run(iterations, engine=engine)
 
-    # Functional reference: the very step the solver would take.
-    sim.step(dt)
+    # Functional reference: the very steps the solver would take.
+    for _ in range(num_steps):
+        sim.step(dt)
     expected = sim.state.as_stacked()
     scale = float(np.abs(expected).max())
     state_err = float(np.abs(out_state - expected).max()) / (
@@ -935,15 +1043,25 @@ def cosimulate_rk_stage(
     per_stage = tuple(
         _chain_window_cycles(
             trace,
-            [f"s{stage}.cu{cu}.{DEFAULT_TASK_NAMES['load']}" for cu in range(num_cus)],
-            [f"s{stage}.cu{cu}.{DEFAULT_TASK_NAMES['store']}" for cu in range(num_cus)],
+            [
+                f"{prefix}s{stage}.cu{cu}.{DEFAULT_TASK_NAMES['load']}"
+                for cu in range(num_cus)
+            ],
+            [
+                f"{prefix}s{stage}.cu{cu}.{DEFAULT_TASK_NAMES['store']}"
+                for cu in range(num_cus)
+            ],
+        )
+        for prefix in (
+            [""] if num_steps == 1 else [f"k{k}." for k in range(num_steps)]
         )
         for stage in range(num_stages)
     )
+    last_prefix = "" if num_steps == 1 else f"k{num_steps - 1}."
     rku_cycles = _chain_window_cycles(
         trace,
-        [f"rku.{RK_UPDATE_TASK_NAMES['load']}"],
-        [f"rku.{RK_UPDATE_TASK_NAMES['store']}"],
+        [f"{last_prefix}rku.{RK_UPDATE_TASK_NAMES['load']}"],
+        [f"{last_prefix}rku.{RK_UPDATE_TASK_NAMES['store']}"],
     )
     return RKStepCosimResult(
         trace=trace,
@@ -959,6 +1077,7 @@ def cosimulate_rk_stage(
         block_size=block_size,
         node_block_size=node_block_size,
         num_elements=mesh.num_elements,
+        num_steps=num_steps,
     )
 
 
@@ -969,12 +1088,15 @@ def design_timing_from_rk_cosim(
 
     Both terms of the step come from the full-step trace instead of the
     closed forms: ``rkl_seconds_per_stage`` is the mean per-stage RKL
-    window and ``rku_seconds_per_step`` the RKU chain's window, each
-    converted at the design clock — the trace-derived counterpart of
+    window (over every stage of every chained step) and
+    ``rku_seconds_per_step`` the RKU chain's window, each converted at
+    the design clock — the trace-derived counterpart of
     :func:`design_timing`, directly comparable against it.
     """
     hz = design.clock_mhz * 1e6
-    mean_stage = sum(result.per_stage_rkl_cycles) / result.num_stages
+    mean_stage = sum(result.per_stage_rkl_cycles) / len(
+        result.per_stage_rkl_cycles
+    )
     return DesignTiming(
         design_name=design.options.name,
         num_nodes=result.final_state.num_nodes,

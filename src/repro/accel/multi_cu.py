@@ -29,7 +29,10 @@ Two routes produce a :class:`MultiCUTiming`:
   (:func:`repro.accel.cosim.cosimulate_small_mesh` with ``num_cus``):
   the RKL stage time is the max drain cycle over the sharded task
   graphs that computed a real residual, so the timing extension and the
-  physics share one execution.
+  physics share one execution. The co-simulation runs on the vectorized
+  schedule engine by default (``engine="auto"``, exact trace parity
+  with the event oracle), which is what makes deriving this timing
+  tractable at paper-scale shard sizes and ``N > 2`` CU counts.
 """
 
 from __future__ import annotations

@@ -9,24 +9,36 @@ the pipeline's Initiation Interval (II). This package provides:
   rules (Single-Producer-Single-Consumer, no buffer may bypass a task);
 - :mod:`repro.dataflow.simulator` — a cycle-level simulation with full
   stall accounting and deadlock detection;
+- :mod:`repro.dataflow.schedule` — the vectorized schedule engine: the
+  same run computed with array recurrences over whole iteration axes
+  (``DataflowSimulator.run(..., engine="vectorized")``), which is what
+  scales co-simulation to paper-scale meshes;
 - :mod:`repro.dataflow.analysis` — steady-state analysis
   (``total = fill + II * (iterations - 1)``) verified against the
   simulator and used to extrapolate to paper-scale meshes.
 """
 
-from .task import Task, TaskStats
+from .task import BlockLatency, Task, TaskStats
 from .buffer import Buffer, BufferKind, fifo, pipo
 from .graph import DataflowGraph, merge_graphs
 from .simulator import DataflowSimulator, SimulationTrace
+from .schedule import (
+    GraphSchedule,
+    TaskSchedule,
+    compute_schedule,
+    normalize_iteration_counts,
+)
 from .analysis import (
     theoretical_initiation_interval,
     pipeline_fill_cycles,
     steady_state_cycles,
     critical_task,
     throughput_tokens_per_cycle,
+    exact_cycles,
 )
 
 __all__ = [
+    "BlockLatency",
     "Task",
     "TaskStats",
     "Buffer",
@@ -37,9 +49,14 @@ __all__ = [
     "merge_graphs",
     "DataflowSimulator",
     "SimulationTrace",
+    "GraphSchedule",
+    "TaskSchedule",
+    "compute_schedule",
+    "normalize_iteration_counts",
     "theoretical_initiation_interval",
     "pipeline_fill_cycles",
     "steady_state_cycles",
     "critical_task",
     "throughput_tokens_per_cycle",
+    "exact_cycles",
 ]

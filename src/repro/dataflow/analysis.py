@@ -12,6 +12,10 @@ buffers, the classic dataflow result holds:
 The cycle-level simulator verifies these formulas on small N (tested);
 experiments then use them to extrapolate to the paper's multi-million
 element meshes where cycle-by-cycle simulation would be impractical.
+For graphs where the closed forms do not apply (merged multi-CU graphs,
+uneven iteration counts, kernel-sequenced chains), :func:`exact_cycles`
+solves the exact schedule with the vectorized engine instead — same
+number the event simulation would produce, at array-recurrence cost.
 """
 
 from __future__ import annotations
@@ -101,3 +105,29 @@ def tlp_speedup(graph: DataflowGraph, iterations: int) -> float:
     return sequential_cycles(graph, iterations) / steady_state_cycles(
         graph, iterations
     )
+
+
+def exact_cycles(graph: DataflowGraph, iterations) -> int:
+    """Exact total cycles of a run, from the vectorized schedule engine.
+
+    Unlike :func:`steady_state_cycles` this holds for *any* validated
+    graph — fork/join topologies, finite buffer backpressure, uneven
+    per-task iteration counts (an int or a per-task mapping), and
+    ``depends_on`` sequencing — because it solves the schedule
+    recurrences rather than a linear-pipeline closed form. It is the
+    timing-only entry point for paper-scale graphs: no payloads run,
+    and the count equals the event simulation's ``total_cycles`` by the
+    engine-parity guarantee.
+
+    Raises :class:`~repro.errors.DeadlockError` on infeasible counts.
+    """
+    from .schedule import (
+        check_feasible,
+        compute_schedule,
+        normalize_iteration_counts,
+    )
+
+    graph.validate()
+    counts = normalize_iteration_counts(graph, iterations)
+    check_feasible(graph, counts)
+    return compute_schedule(graph, counts).total_cycles

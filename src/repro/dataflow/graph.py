@@ -99,9 +99,23 @@ class DataflowGraph:
             graph.add_edge(buf.producer, buf.consumer)
         return graph
 
-    def topological_order(self) -> list[str]:
-        """Tasks in a topological order (validates acyclicity)."""
+    def topological_order(
+        self, include_dependencies: bool = False
+    ) -> list[str]:
+        """Tasks in a topological order (validates acyclicity).
+
+        With ``include_dependencies`` the order also respects
+        :attr:`~repro.dataflow.task.Task.depends_on` edges — every task
+        sorts after the tasks it is kernel-sequenced behind. This is the
+        order the vectorized schedule engine sweeps in (one pass
+        resolves every forward constraint) and the order batched payload
+        execution runs chains in.
+        """
         graph = self.to_networkx()
+        if include_dependencies:
+            for task in self.tasks.values():
+                for dep in task.depends_on:
+                    graph.add_edge(dep, task.name)
         try:
             return list(nx.topological_sort(graph))
         except nx.NetworkXUnfeasible:

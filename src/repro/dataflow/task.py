@@ -16,9 +16,77 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+import numpy as np
+
 from ..errors import DataflowError
 
 LatencyModel = Callable[[int], int]
+
+
+@dataclass
+class BlockLatency:
+    """Iteration-dependent latency the schedule engine can vectorize.
+
+    The streaming lowerings scale a per-unit latency by each token's
+    block size (elements or nodes per token) and optionally charge a
+    one-off kernel-launch fill on the first token. Encoding that model
+    as *data* instead of a closure lets the vectorized schedule engine
+    evaluate every iteration's latency in one numpy expression
+    (:meth:`array`), while :meth:`__call__` keeps the instance a plain
+    ``LatencyModel`` for the event engine.
+
+    Attributes
+    ----------
+    cycles_per_unit:
+        Latency contributed by one unit (element / node) of a token.
+    sizes:
+        Units per token, in stream order (``None`` = one unit per
+        token, i.e. a constant per-iteration latency).
+    first_extra:
+        Extra cycles charged on iteration 0 only (kernel-launch fill).
+    """
+
+    cycles_per_unit: float
+    sizes: np.ndarray | None = None
+    first_extra: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sizes is not None:
+            self.sizes = np.asarray(self.sizes, dtype=np.int64)
+        self.first_extra = int(self.first_extra)
+        if self.first_extra < 0:
+            raise DataflowError(
+                f"first_extra must be >= 0, got {self.first_extra}"
+            )
+
+    def __call__(self, iteration: int) -> int:
+        size = 1 if self.sizes is None else int(self.sizes[iteration])
+        base = max(1, round(self.cycles_per_unit * size))
+        return base + (self.first_extra if iteration == 0 else 0)
+
+    def array(self, iterations: int) -> np.ndarray:
+        """Latency of iterations ``0..iterations-1`` as one int64 array.
+
+        Exactly :meth:`__call__` evaluated elementwise (``np.rint`` and
+        Python's ``round`` share round-half-even semantics), so the
+        vectorized schedule engine prices every token the event engine
+        would.
+        """
+        if self.sizes is None:
+            sizes = np.ones(iterations, dtype=np.int64)
+        else:
+            if iterations > self.sizes.size:
+                raise DataflowError(
+                    f"latency model covers {self.sizes.size} iterations, "
+                    f"{iterations} requested"
+                )
+            sizes = self.sizes[:iterations]
+        out = np.maximum(
+            1, np.rint(self.cycles_per_unit * sizes).astype(np.int64)
+        )
+        if iterations > 0 and self.first_extra:
+            out[0] += self.first_extra
+        return out
 
 
 @dataclass
@@ -81,18 +149,39 @@ class Task:
             )
         return value
 
+    def latency_array(self, iterations: int) -> np.ndarray:
+        """Latencies of iterations ``0..iterations-1`` as one int64 array.
+
+        The schedule engine's view of the task: constants broadcast,
+        :class:`BlockLatency` models vectorize, and generic callables
+        fall back to per-iteration evaluation (validated like
+        :meth:`latency_at`).
+        """
+        if isinstance(self.latency, BlockLatency):
+            try:
+                return self.latency.array(iterations)
+            except DataflowError as exc:
+                raise DataflowError(f"task {self.name!r}: {exc}") from None
+        if not callable(self.latency):
+            return np.full(iterations, int(self.latency), dtype=np.int64)
+        out = np.fromiter(
+            (self.latency_at(i) for i in range(iterations)),
+            dtype=np.int64,
+            count=iterations,
+        )
+        return out
+
     def max_latency(self, iterations: int) -> int:
         """Maximum latency over the given iteration count."""
         if not callable(self.latency):
             return int(self.latency)
-        return max(self.latency_at(i) for i in range(iterations))
+        return int(self.latency_array(iterations).max())
 
     def mean_latency(self, iterations: int) -> float:
         """Average latency over the given iteration count."""
         if not callable(self.latency):
             return float(self.latency)
-        total = sum(self.latency_at(i) for i in range(iterations))
-        return total / iterations
+        return float(self.latency_array(iterations).mean())
 
 
 @dataclass

@@ -229,6 +229,14 @@ def streaming_actions(
         passing the payloads that cross group boundaries through the
         simulated inter-task buffers as dicts.
 
+        Every action also carries a ``batch`` attribute — the batched
+        form the vectorized schedule engine
+        (:mod:`repro.dataflow.schedule`) calls once per task instead of
+        once per token: the same stages over the concatenation of all
+        blocks, numerically the per-token stream in one numpy call
+        (scatter order included, since ``np.add.at`` applies the
+        concatenated indices in block order).
+
     Raises
     ------
     PipelineError
@@ -251,6 +259,39 @@ def streaming_actions(
         )
     (state_payload,) = externals
 
+    # One batched run shares the concatenated-block context between the
+    # LOAD / COMPUTE / STORE batch calls (connectivity and metric views
+    # are state-independent, so caching per token count is safe).
+    batch_ctx_cache: dict[int, PipelineContext] = {}
+
+    def batch_ctx(count: int) -> PipelineContext:
+        if count not in batch_ctx_cache:
+            batch_ctx_cache[count] = ctx.element_block(
+                np.concatenate(blocks[:count])
+            )
+        return batch_ctx_cache[count]
+
+    def run_group(ectx, stages, exported, role, env, count=None):
+        """Execute one role group against ``env``; dict of exports."""
+        if role == "store":
+            # The STORE kernel's read-modify-write, restricted to the
+            # streamed nodes: a block touches B*Q node slots, so the
+            # dense (5, N) scatter the batched kernel produces would
+            # make streaming quadratic in mesh size.
+            for stage in stages:
+                res = env[stage.inputs[0]]  # (F, B, Q)
+                start = int(stage.param("field_start", 0))
+                for field in range(res.shape[0]):
+                    np.add.at(
+                        accumulator[start + field],
+                        ectx.connectivity,
+                        res[field],
+                    )
+            return None
+        for stage in stages:
+            _run_stage(ectx, stage, env)
+        return {name: env[name] for name in exported}
+
     actions: dict[str, Action] = {}
     for role, stages, exported in role_group_exports(pipeline):
 
@@ -261,28 +302,34 @@ def streaming_actions(
             exported=exported,
             role=role,
         ):
-            ectx = ctx.element_block(blocks[iteration])
             env: dict[str, np.ndarray] = {state_payload: state}
             for payload in inputs:
                 env.update(payload)
-            if role == "store":
-                # The STORE kernel's read-modify-write, restricted to the
-                # block's own nodes: a block touches B*Q node slots, so
-                # the dense (5, N) scatter the batched kernel produces
-                # would make streaming quadratic in mesh size.
-                for stage in stages:
-                    res = env[stage.inputs[0]]  # (F, B, Q)
-                    start = int(stage.param("field_start", 0))
-                    for field in range(res.shape[0]):
-                        np.add.at(
-                            accumulator[start + field],
-                            ectx.connectivity,
-                            res[field],
-                        )
-                return None
-            for stage in stages:
-                _run_stage(ectx, stage, env)
-            return {name: env[name] for name in exported}
+            return run_group(
+                ctx.element_block(blocks[iteration]),
+                stages,
+                exported,
+                role,
+                env,
+            )
 
+        def batch(
+            count: int,
+            inputs: tuple,
+            stages=stages,
+            exported=exported,
+            role=role,
+        ):
+            env: dict[str, np.ndarray] = {state_payload: state}
+            for payload in inputs:
+                env.update(payload)
+            result = run_group(
+                batch_ctx(count), stages, exported, role, env
+            )
+            if role == "store":
+                return [None] * count  # per-token sink values
+            return result
+
+        action.batch = batch
         actions[role] = action
     return actions

@@ -34,7 +34,7 @@ from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
 
 from ..dataflow.graph import DataflowGraph
-from ..dataflow.task import Task
+from ..dataflow.task import BlockLatency, Task
 from ..errors import PipelineError
 
 #: Valid stage roles — the three element-level tasks of the paper's Fig. 1.
@@ -351,13 +351,10 @@ class OperatorPipeline:
                     1, round(per_element)
                 )
             else:
-
-                def latency(
-                    iteration: int,
-                    cycles=per_element,
-                    sizes=block_sizes,
-                ) -> int:
-                    return max(1, round(cycles * sizes[iteration]))
+                # A vectorizable latency model: per-element role cycles
+                # scaled by each token's block size, evaluated in bulk
+                # by the schedule engine.
+                latency = BlockLatency(per_element, block_sizes)
 
             tasks.append(
                 Task(

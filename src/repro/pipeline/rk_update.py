@@ -405,7 +405,13 @@ def rk_update_streaming_actions(
     -------
     dict[str, Action]
         One action per role group for
-        :meth:`~repro.pipeline.ir.OperatorPipeline.to_task_graph`.
+        :meth:`~repro.pipeline.ir.OperatorPipeline.to_task_graph`. As
+        with :func:`~repro.pipeline.executor.streaming_actions`, every
+        action carries a ``batch`` attribute executing all its tokens
+        (the concatenation of the node blocks) in one numpy call for
+        the vectorized schedule engine; ``prepare`` still runs first,
+        at the batched LOAD — after the upstream chains the schedule
+        sequenced it behind.
 
     Raises
     ------
@@ -425,6 +431,33 @@ def rk_update_streaming_actions(
         "store_node_primitives": out_primitives,
     }
 
+    def run_group(block, stages, exported, role, inputs, first: bool):
+        """Execute one role group on ``block`` (a token's nodes or the
+        concatenation of all tokens); dict of exports."""
+        if role == "load" and first and prepare is not None:
+            prepare()
+        env: dict[str, object] = {
+            "state": state[:, block],
+            "derivs": [deriv[:, block] for deriv in derivs],
+            "coeffs": coeffs,
+            "dt": dt,
+        }
+        for payload in inputs:
+            env.update(payload)
+        if role == "store":
+            for stage in stages:
+                target = targets.get(stage.kernel)
+                if target is None:
+                    raise PipelineError(
+                        f"stage {stage.name!r}: no output array for "
+                        f"kernel {stage.kernel!r}"
+                    )
+                target[:, block] = env[stage.inputs[0]]
+            return None
+        for stage in stages:
+            _run_stage(ctx, stage, env)
+        return {name: env[name] for name in exported}
+
     actions: dict[str, Callable[[int, tuple], object]] = {}
     for role, stages, exported in role_group_exports(pipeline):
 
@@ -435,30 +468,26 @@ def rk_update_streaming_actions(
             exported=exported,
             role=role,
         ):
-            if role == "load" and iteration == 0 and prepare is not None:
-                prepare()
-            block = blocks[iteration]
-            env: dict[str, object] = {
-                "state": state[:, block],
-                "derivs": [deriv[:, block] for deriv in derivs],
-                "coeffs": coeffs,
-                "dt": dt,
-            }
-            for payload in inputs:
-                env.update(payload)
-            if role == "store":
-                for stage in stages:
-                    target = targets.get(stage.kernel)
-                    if target is None:
-                        raise PipelineError(
-                            f"stage {stage.name!r}: no output array for "
-                            f"kernel {stage.kernel!r}"
-                        )
-                    target[:, block] = env[stage.inputs[0]]
-                return None
-            for stage in stages:
-                _run_stage(ctx, stage, env)
-            return {name: env[name] for name in exported}
+            return run_group(
+                blocks[iteration], stages, exported, role, inputs,
+                first=iteration == 0,
+            )
 
+        def batch(
+            count: int,
+            inputs: tuple,
+            stages=stages,
+            exported=exported,
+            role=role,
+        ):
+            block = np.concatenate(blocks[:count])
+            result = run_group(
+                block, stages, exported, role, inputs, first=True
+            )
+            if role == "store":
+                return [None] * count  # per-token sink values
+            return result
+
+        action.batch = batch
         actions[role] = action
     return actions

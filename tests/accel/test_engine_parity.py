@@ -1,0 +1,239 @@
+"""Engine parity on the co-simulation surface + multi-step chaining.
+
+The PR-5 tentpole guarantee: the vectorized schedule engine reproduces
+the event engine on every existing co-simulation case — identical
+cycles and per-task stats, and a streamed state equal to rounding error
+(in practice bitwise, since the batched payload execution concatenates
+the very blocks the event engine streams) — while scaling to meshes the
+event engine cannot touch, including multi-step runs chained under one
+simulator clock.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accel.cosim import (
+    cosimulate_rk_stage,
+    design_timing_from_rk_cosim,
+    streamed_residual,
+)
+from repro.errors import ExperimentError
+from repro.mesh.hexmesh import channel_mesh, periodic_box_mesh
+from repro.physics.channel import decaying_shear_initial
+from repro.physics.taylor_green import DEFAULT_TGV, TGVCase, taylor_green_initial
+from repro.solver.navier_stokes import NavierStokesOperator
+
+STATE_TOL = 1e-12
+
+STAT_FIELDS = (
+    "iterations_completed",
+    "busy_cycles",
+    "input_stall_cycles",
+    "output_stall_cycles",
+    "first_start",
+    "last_finish",
+    "finish_times",
+)
+
+
+def assert_trace_parity(event, vectorized):
+    assert event.total_cycles == vectorized.total_cycles
+    assert set(event.task_stats) == set(vectorized.task_stats)
+    for name in event.task_stats:
+        for field in STAT_FIELDS:
+            assert getattr(event.stats(name), field) == getattr(
+                vectorized.stats(name), field
+            ), f"{name}.{field}"
+    assert {
+        name: len(values) for name, values in event.sink_results.items()
+    } == {
+        name: len(values) for name, values in vectorized.sink_results.items()
+    }
+
+
+class TestStreamedResidualParity:
+    """TGV p in {3, 5} and channel, block sizes {1, 4, E}, N in
+    {1, 2, 4} compute units, uneven partitions."""
+
+    @pytest.mark.parametrize("order", [3, 5])
+    @pytest.mark.parametrize("num_cus", [1, 2, 4])
+    def test_tgv_matrix(self, proposed, order, num_cus):
+        mesh = periodic_box_mesh(2, order)
+        op = NavierStokesOperator(mesh, DEFAULT_TGV.gas(), backend="fast")
+        stacked = taylor_green_initial(mesh.coords, DEFAULT_TGV).as_stacked()
+        for block_size in (1, 4, mesh.num_elements // num_cus):
+            res_e, trace_e = streamed_residual(
+                proposed, op, stacked,
+                block_size=block_size, num_cus=num_cus, engine="event",
+            )
+            res_v, trace_v = streamed_residual(
+                proposed, op, stacked,
+                block_size=block_size, num_cus=num_cus, engine="vectorized",
+            )
+            assert_trace_parity(trace_e, trace_v)
+            scale = np.abs(res_e).max()
+            assert np.abs(res_v - res_e).max() <= STATE_TOL * scale
+
+    def test_channel_case(self, proposed):
+        case = TGVCase(mach=0.05, reynolds=100.0)
+        mesh = channel_mesh(2, 2)
+        init = decaying_shear_initial(mesh.coords, case)
+        op = NavierStokesOperator(mesh, case.gas(), backend="fast")
+        stacked = init.as_stacked()
+        res_e, trace_e = streamed_residual(
+            proposed, op, stacked, block_size=2, num_cus=2, engine="event"
+        )
+        res_v, trace_v = streamed_residual(
+            proposed, op, stacked, block_size=2, num_cus=2,
+            engine="vectorized",
+        )
+        assert_trace_parity(trace_e, trace_v)
+        scale = np.abs(res_e).max()
+        assert np.abs(res_v - res_e).max() <= STATE_TOL * scale
+
+    def test_uneven_partitions(self, proposed):
+        mesh = periodic_box_mesh(3, 2)  # 27 elements
+        op = NavierStokesOperator(mesh, DEFAULT_TGV.gas())
+        stacked = taylor_green_initial(mesh.coords, DEFAULT_TGV).as_stacked()
+        partitions = [np.arange(20), np.arange(20, 27)]
+        res_e, trace_e = streamed_residual(
+            proposed, op, stacked, block_size=4, partitions=partitions,
+            engine="event",
+        )
+        res_v, trace_v = streamed_residual(
+            proposed, op, stacked, block_size=4, partitions=partitions,
+            engine="vectorized",
+        )
+        assert_trace_parity(trace_e, trace_v)
+        scale = np.abs(res_e).max()
+        assert np.abs(res_v - res_e).max() <= STATE_TOL * scale
+
+
+class TestFullStepParity:
+    @pytest.mark.parametrize("order", [3, 5])
+    def test_tgv_full_step(self, proposed, order):
+        mesh = periodic_box_mesh(2, order)
+        event = cosimulate_rk_stage(
+            proposed, mesh, backend="fast", block_size=4, num_cus=2,
+            engine="event",
+        )
+        vectorized = cosimulate_rk_stage(
+            proposed, mesh, backend="fast", block_size=4, num_cus=2,
+            engine="vectorized",
+        )
+        assert_trace_parity(event.trace, vectorized.trace)
+        assert event.per_stage_rkl_cycles == vectorized.per_stage_rkl_cycles
+        assert event.rku_simulated_cycles == vectorized.rku_simulated_cycles
+        state_e = event.final_state.as_stacked()
+        state_v = vectorized.final_state.as_stacked()
+        scale = np.abs(state_e).max()
+        assert np.abs(state_v - state_e).max() <= STATE_TOL * scale
+        assert vectorized.state_max_rel_err <= STATE_TOL
+
+    def test_channel_full_step(self, proposed):
+        case = TGVCase(mach=0.05, reynolds=100.0)
+        mesh = channel_mesh(2, 2)
+        init = decaying_shear_initial(mesh.coords, case)
+        kwargs = dict(
+            backend="fast", case=case, initial_state=init,
+            block_size=2, num_cus=2, node_block_size=16,
+        )
+        event = cosimulate_rk_stage(proposed, mesh, engine="event", **kwargs)
+        vectorized = cosimulate_rk_stage(
+            proposed, mesh, engine="vectorized", **kwargs
+        )
+        assert_trace_parity(event.trace, vectorized.trace)
+        assert vectorized.state_max_rel_err <= STATE_TOL
+
+
+class TestMultiStepCosim:
+    """``num_steps > 1``: several RK time steps chained under ONE clock,
+    each step's first RKL stream sequenced behind the previous step's
+    RKU store."""
+
+    def test_two_steps_match_functional_solver(self, proposed):
+        from repro.solver.simulation import Simulation
+
+        mesh = periodic_box_mesh(2, 3)
+        sim = Simulation(mesh, DEFAULT_TGV)
+        dt = sim.compute_dt()
+        result = cosimulate_rk_stage(
+            proposed, mesh, dt=dt, block_size=4, num_steps=2
+        )
+        sim.step(dt)
+        sim.step(dt)
+        expected = sim.state.as_stacked()
+        scale = np.abs(expected).max()
+        got = result.final_state.as_stacked()
+        assert np.abs(got - expected).max() <= STATE_TOL * scale
+        assert result.num_steps == 2
+        assert result.state_max_rel_err <= STATE_TOL
+
+    def test_steps_are_sequenced_on_one_clock(self, proposed):
+        mesh = periodic_box_mesh(2, 3)
+        result = cosimulate_rk_stage(
+            proposed, mesh, block_size=4, num_steps=3
+        )
+        trace = result.trace
+        # each step's RKU drains before the next step's stage-0 RKL
+        for step in range(2):
+            rku_drain = trace.stats(
+                f"k{step}.rku.store_node_state"
+            ).last_finish
+            next_start = trace.stats(
+                f"k{step + 1}.s0.cu0.load_element"
+            ).first_start
+            assert next_start >= rku_drain
+        # one stage window per (step, stage)
+        assert len(result.per_stage_rkl_cycles) == 3 * result.num_stages
+
+    def test_multi_step_cycles_scale_linearly(self, proposed):
+        mesh = periodic_box_mesh(2, 3)
+        one = cosimulate_rk_stage(proposed, mesh, block_size=4, num_steps=1)
+        three = cosimulate_rk_stage(proposed, mesh, block_size=4, num_steps=3)
+        assert three.simulated_cycles == pytest.approx(
+            3 * one.simulated_cycles, rel=0.01
+        )
+
+    def test_multi_step_engine_parity(self, proposed):
+        mesh = periodic_box_mesh(2, 3)
+        event = cosimulate_rk_stage(
+            proposed, mesh, block_size=4, num_steps=2, engine="event"
+        )
+        vectorized = cosimulate_rk_stage(
+            proposed, mesh, block_size=4, num_steps=2, engine="vectorized"
+        )
+        assert_trace_parity(event.trace, vectorized.trace)
+        assert event.per_stage_rkl_cycles == vectorized.per_stage_rkl_cycles
+
+    def test_timing_derivation_averages_over_steps(self, proposed):
+        mesh = periodic_box_mesh(2, 3)
+        result = cosimulate_rk_stage(proposed, mesh, block_size=4, num_steps=2)
+        timing = design_timing_from_rk_cosim(proposed, result)
+        windows = result.per_stage_rkl_cycles
+        mean = sum(windows) / len(windows)
+        hz = proposed.clock_mhz * 1e6
+        assert timing.rkl_seconds_per_stage == pytest.approx(mean / hz)
+
+    def test_invalid_num_steps(self, proposed):
+        mesh = periodic_box_mesh(2, 3)
+        with pytest.raises(ExperimentError):
+            cosimulate_rk_stage(proposed, mesh, num_steps=0)
+
+
+class TestPaperScaleCosim:
+    """The scaling tentpole: meshes an order of magnitude beyond the
+    event engine's practical reach co-simulate to rounding error."""
+
+    def test_512_element_residual_stream(self, proposed):
+        mesh = periodic_box_mesh(8, 3)  # 512 elements
+        op = NavierStokesOperator(mesh, DEFAULT_TGV.gas(), backend="fast")
+        stacked = taylor_green_initial(mesh.coords, DEFAULT_TGV).as_stacked()
+        expected = op.residual(stacked)
+        residual, trace = streamed_residual(
+            proposed, op, stacked, block_size=8, num_cus=2,
+            engine="vectorized",
+        )
+        scale = np.abs(expected).max()
+        assert np.abs(residual - expected).max() <= STATE_TOL * scale
+        assert trace.stats("cu0.load_element").iterations_completed == 32

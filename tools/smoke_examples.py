@@ -40,6 +40,7 @@ SMOKE_ARGS: dict[str, list[str]] = {
     "scaling_study.py": [],
     "functional_cosim.py": [
         "2", "3", "--block-size", "4", "--num-cus", "2", "--full-step",
+        "--num-steps", "2", "--engine", "vectorized",
     ],
 }
 
