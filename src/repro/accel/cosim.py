@@ -330,6 +330,157 @@ def analytic_block_cycles(
     return finish[-1]
 
 
+def analytic_rku_step_cycles(
+    design: AcceleratorDesign,
+    num_nodes: int,
+    node_block_size: int = 32,
+) -> float:
+    """Closed-form cycles of the *streamed* RKU chain.
+
+    :meth:`AcceleratorDesign.rku_step_cycles` prices the update loops
+    alone; the streamed chain the co-simulation (and the exact schedule
+    solve) runs also carries the LOAD/STORE streaming interfaces around
+    them. This is the chain's tandem-pipeline recurrence — the RKU
+    analogue of :func:`analytic_block_cycles` — with the kernel-launch
+    fill charged to the first token: the closed form the design-space
+    exploration's cheap tier uses so its promoted points agree with the
+    exact tier at any mesh size, not just where the update loops
+    dominate.
+
+    Raises :class:`~repro.errors.ExperimentError` on invalid sizes.
+    """
+    if num_nodes < 1:
+        raise ExperimentError("num_nodes must be >= 1")
+    if node_block_size < 1:
+        raise ExperimentError("node_block_size must be >= 1")
+    role_cycles = list(design.rku_node_cycles(num_nodes).values())
+    finish = [0.0] * len(role_cycles)
+    for block in node_blocks(num_nodes, node_block_size):
+        upstream = 0.0
+        for task, cycles in enumerate(role_cycles):
+            finish[task] = max(finish[task], upstream) + cycles * block.size
+            upstream = finish[task]
+    return design.rku_fill_cycles() + finish[-1]
+
+
+def exact_rkl_stage_cycles(
+    design: AcceleratorDesign,
+    num_nodes: int,
+    num_elements: int,
+    *,
+    block_size: int = 1,
+    num_cus: int = 1,
+    partitions=None,
+    pipeline: OperatorPipeline | None = None,
+) -> int:
+    """Exact RKL stage cycles from the schedule engine, *without* payloads.
+
+    The middle rung of the design-space exploration's evaluation ladder:
+    the same lowered graphs a payload-carrying co-simulation would run
+    (per-CU chains from :func:`build_rkl_dataflow_graph`, merged under
+    one clock) priced by :func:`repro.dataflow.analysis.exact_cycles`
+    alone — an exact schedule solve at array-recurrence cost, with no
+    mesh, state, or actions built. Agreement with both the closed form
+    (:func:`analytic_block_cycles`) and the full co-simulation is
+    asserted by the tier-agreement tests.
+
+    Parameters
+    ----------
+    design:
+        Design point pricing the pipeline.
+    num_nodes / num_elements:
+        Whole-mesh sizes; each CU prices its LOAD/STORE at its node
+        share (:func:`~repro.accel.multi_cu.nodes_per_compute_unit`).
+    block_size:
+        Elements per token.
+    num_cus / partitions:
+        Element sharding, as in :func:`streamed_residual`.
+    pipeline:
+        Operator pipeline to lower (defaults to the fused element
+        pipeline).
+
+    Raises
+    ------
+    ExperimentError
+        On invalid ``block_size`` or sharding.
+    """
+    from ..dataflow.analysis import exact_cycles
+
+    if block_size < 1:
+        raise ExperimentError("block_size must be >= 1")
+    if pipeline is None:
+        pipeline = element_pipeline()
+    partitions = _element_partitions(num_elements, num_cus, partitions)
+    num_cus = len(partitions)
+    nodes_per_cu = nodes_per_compute_unit(num_nodes, num_cus)
+
+    subgraphs: list[DataflowGraph] = []
+    iterations: dict[str, int] = {}
+    for cu, part in enumerate(partitions):
+        blocks = element_blocks(part, block_size)
+        graph = build_rkl_dataflow_graph(
+            design,
+            nodes_per_cu,
+            pipeline=pipeline,
+            block_sizes=(
+                None if block_size == 1 else [block.size for block in blocks]
+            ),
+            task_names=None if num_cus == 1 else _cu_task_names(cu),
+            name=(
+                f"rkl-exact-{design.options.name}"
+                if num_cus == 1
+                else f"rkl-exact-{design.options.name}-cu{cu}"
+            ),
+        )
+        for task_name in graph.tasks:
+            iterations[task_name] = len(blocks)
+        subgraphs.append(graph)
+    if num_cus == 1:
+        graph = subgraphs[0]
+    else:
+        graph = merge_graphs(
+            f"rkl-exact-{design.options.name}-{num_cus}cu", subgraphs
+        )
+    return exact_cycles(graph, iterations)
+
+
+def exact_rku_step_cycles(
+    design: AcceleratorDesign,
+    num_nodes: int,
+    node_block_size: int = 32,
+) -> int:
+    """Exact RKU step cycles from the schedule engine, without payloads.
+
+    The RKU counterpart of :func:`exact_rkl_stage_cycles`: the final
+    update chain (b-row combination + primitive update,
+    :func:`~repro.pipeline.rk_update.rk_update_pipeline` lowering, with
+    the kernel-launch fill the closed form charges) solved exactly with
+    no node payloads streamed.
+
+    Raises :class:`~repro.errors.ExperimentError` on invalid sizes.
+    """
+    from ..dataflow.analysis import exact_cycles
+
+    if num_nodes < 1:
+        raise ExperimentError("num_nodes must be >= 1")
+    if node_block_size < 1:
+        raise ExperimentError("node_block_size must be >= 1")
+    blocks = node_blocks(num_nodes, node_block_size)
+    pipeline = rk_update_pipeline(primitives=True)
+    template = _ChainTemplate(
+        pipeline,
+        design.rku_pipeline_stage_cycles(pipeline, num_nodes),
+        block_sizes=[block.size for block in blocks],
+    )
+    graph = template.instantiate(
+        dict(RK_UPDATE_TASK_NAMES),
+        None,
+        name=f"rku-exact-{design.options.name}",
+        fill_cycles=design.rku_fill_cycles(),
+    )
+    return exact_cycles(graph, len(blocks))
+
+
 def per_cu_simulated_cycles(
     trace: SimulationTrace, num_cus: int
 ) -> tuple[int, ...]:

@@ -90,6 +90,11 @@ class DesignOptions:
     split_slrs: bool
     directive_strategy: str  # 'dse' | 'vitis-auto'
     batch_elements: int = 1536
+    #: GLL polynomial order the kernel models are elaborated at. The
+    #: paper evaluates the order-2 (27-node) element; the design-space
+    #: exploration sweeps this so each priced configuration's node loops
+    #: match the mesh it is priced on.
+    polynomial_order: int = 2
 
     def __post_init__(self) -> None:
         if self.directive_strategy not in ("dse", "vitis-auto"):
@@ -98,6 +103,8 @@ class DesignOptions:
             )
         if self.num_load_interfaces < 1 or self.num_store_interfaces < 1:
             raise HLSError("interface counts must be >= 1")
+        if self.polynomial_order < 1:
+            raise HLSError("polynomial_order must be >= 1")
 
 
 PROPOSED_OPTIONS = DesignOptions(
@@ -473,7 +480,10 @@ def _build_design(
     device: FPGADevice,
     calibration: AcceleratorCalibration,
 ) -> AcceleratorDesign:
-    rkl = build_rkl_kernel(batch_elements=options.batch_elements)
+    rkl = build_rkl_kernel(
+        polynomial_order=options.polynomial_order,
+        batch_elements=options.batch_elements,
+    )
     rku = build_rku_kernel(
         options.decoupled_rku, calibration.rku_read_latency_cycles
     )

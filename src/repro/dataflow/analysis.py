@@ -107,7 +107,7 @@ def tlp_speedup(graph: DataflowGraph, iterations: int) -> float:
     )
 
 
-def exact_cycles(graph: DataflowGraph, iterations) -> int:
+def exact_cycles(graph: DataflowGraph, iterations, *, validate: bool = True) -> int:
     """Exact total cycles of a run, from the vectorized schedule engine.
 
     Unlike :func:`steady_state_cycles` this holds for *any* validated
@@ -119,7 +119,37 @@ def exact_cycles(graph: DataflowGraph, iterations) -> int:
     and the count equals the event simulation's ``total_cycles`` by the
     engine-parity guarantee.
 
+    ``validate=False`` skips the structural validation and feasibility
+    pre-checks — the hot-loop knob for callers (the design-space
+    exploration's exact tier) that price many structurally identical
+    graphs and have already validated the template.
+
     Raises :class:`~repro.errors.DeadlockError` on infeasible counts.
+    """
+    from .schedule import (
+        check_feasible,
+        compute_schedule,
+        normalize_iteration_counts,
+    )
+
+    if validate:
+        graph.validate()
+    counts = normalize_iteration_counts(graph, iterations)
+    if validate:
+        check_feasible(graph, counts)
+    return compute_schedule(graph, counts).total_cycles
+
+
+def exact_task_windows(
+    graph: DataflowGraph, iterations
+) -> dict[str, tuple[int, int]]:
+    """Per-task ``(first_start, last_finish)`` windows of the exact run.
+
+    The timing-only counterpart of reading ``first_start``/``last_finish``
+    off a payload-carrying simulation trace: one vectorized schedule
+    solve yields every task's occupancy window, which is how the
+    design-space exploration prices chain windows (an RKL stage, the RKU
+    drain) on merged graphs without streaming any payloads.
     """
     from .schedule import (
         check_feasible,
@@ -130,4 +160,8 @@ def exact_cycles(graph: DataflowGraph, iterations) -> int:
     graph.validate()
     counts = normalize_iteration_counts(graph, iterations)
     check_feasible(graph, counts)
-    return compute_schedule(graph, counts).total_cycles
+    schedule = compute_schedule(graph, counts)
+    return {
+        name: (int(sched.starts[0]), int(sched.finishes[-1]))
+        for name, sched in schedule.tasks.items()
+    }

@@ -1,0 +1,363 @@
+"""Campaign execution: the tiered sweep, process-pool sharding, async jobs.
+
+:func:`run_campaign` drives the whole ladder for one
+:class:`~repro.dse.campaign.CampaignSpec`:
+
+1. **closed-form tier** over every feasible grid point — optionally
+   sharded over a process pool in chunked batches. The parent
+   pre-checks the content-addressed cache and dispatches only the
+   misses; designs are pre-warmed in the parent so fork-started workers
+   inherit the builds; batches are index-tagged and merged back in
+   campaign order, so the result list is deterministic regardless of
+   worker count or completion order.
+2. **exact tier** on the Pareto front's best ``max_survivors`` points
+   (the vectorized schedule solve), each checked against its
+   closed-form pricing within the <2% parity bound.
+3. **cosim tier** on the best ``max_cosim`` exact survivors (full
+   payload-carrying co-simulation), each checked against its exact
+   pricing within the <5% bound.
+
+:class:`CampaignExecutor` is the asynchronous front-end: ``submit`` a
+spec, ``poll`` its status, ``collect`` the result — campaigns run on
+background threads (each of which may own its own process pool), so a
+driver can keep several sweeps in flight.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from ..errors import DSEError
+from .cache import CacheStats, ResultCache, cache_key
+from .campaign import CampaignSpec, DesignPoint
+from .pareto import pareto_front
+from .tiers import (
+    TIER_AGREEMENT_BOUNDS,
+    TIERS,
+    PointResult,
+    evaluate_point,
+    prewarm_designs,
+    tier_agreement,
+)
+
+
+def _pool_context():
+    """Fork when the platform offers it (workers inherit the pre-warmed
+    design cache); the platform default otherwise."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return multiprocessing.get_context()
+
+
+def _evaluate_batch(args):
+    """Pool worker: price one index-tagged batch, persist to the shared
+    cache directory when one is configured."""
+    index, points, tier, cache_dir = args
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    results = []
+    for point in points:
+        result = evaluate_point(point, tier)
+        if cache is not None:
+            cache.store(point, tier, result)
+        results.append(result)
+    return index, results
+
+
+@dataclass
+class AgreementCheck:
+    """One promoted point's cross-tier consistency record."""
+
+    point: DesignPoint
+    tier: str
+    relative_error: float
+    bound: float
+
+    @property
+    def ok(self) -> bool:
+        return self.relative_error <= self.bound
+
+    def to_dict(self) -> dict:
+        return {
+            "point": self.point.spec(),
+            "tier": self.tier,
+            "relative_error": self.relative_error,
+            "bound": self.bound,
+            "ok": self.ok,
+        }
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign run produced."""
+
+    spec: CampaignSpec
+    #: Closed-form pricing of every feasible point, in expansion order.
+    results: list[PointResult]
+    #: Infeasible grid points with their reasons.
+    skipped: list[tuple[DesignPoint, str]]
+    #: Non-dominated closed-form results (cycles vs LUT/DSP/BRAM).
+    front: list[PointResult]
+    #: Exact-tier pricing of the promoted front candidates.
+    survivors: list[PointResult] = field(default_factory=list)
+    #: Co-simulated pricing of the finalists.
+    cosim: list[PointResult] = field(default_factory=list)
+    #: Cross-tier consistency of every promoted point.
+    agreement: list[AgreementCheck] = field(default_factory=list)
+    #: Cache accounting of the run (``None`` when uncached).
+    cache_stats: CacheStats | None = None
+
+    @property
+    def num_grid_points(self) -> int:
+        return len(self.results) + len(self.skipped)
+
+    @property
+    def violations(self) -> list[AgreementCheck]:
+        """Agreement checks that exceeded their tier's bound."""
+        return [check for check in self.agreement if not check.ok]
+
+    def to_dict(self) -> dict:
+        """JSON-ready campaign summary (the BENCH artifact body)."""
+        stats = self.cache_stats
+        return {
+            "campaign": self.spec.spec(),
+            "num_grid_points": self.num_grid_points,
+            "num_feasible": len(self.results),
+            "num_skipped": len(self.skipped),
+            "pareto_front": [r.to_dict() for r in self.front],
+            "survivors": [r.to_dict() for r in self.survivors],
+            "cosim": [r.to_dict() for r in self.cosim],
+            "agreement": [check.to_dict() for check in self.agreement],
+            "cache": None
+            if stats is None
+            else {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "writes": stats.writes,
+                "hit_rate": stats.hit_rate,
+            },
+        }
+
+
+def _evaluate_tier(
+    points: list[DesignPoint],
+    tier: str,
+    cache: ResultCache | None,
+    workers: int,
+    chunk_size: int,
+) -> list[PointResult]:
+    """Price points at one tier, cache-first, optionally pooled.
+
+    The parent resolves every cache hit up front and ships only the
+    misses to the pool; worker batches come back index-tagged and slot
+    into the campaign-order result list, so merge order never depends
+    on scheduling.
+    """
+    results: list[PointResult | None] = [None] * len(points)
+    missing: list[tuple[int, DesignPoint]] = []
+    for index, point in enumerate(points):
+        hit = cache.lookup(point, tier) if cache is not None else None
+        if hit is not None:
+            results[index] = hit
+        else:
+            missing.append((index, point))
+
+    if missing and (workers <= 1 or len(missing) == 1):
+        for index, point in missing:
+            result = evaluate_point(point, tier)
+            if cache is not None:
+                cache.store(point, tier, result)
+            results[index] = result
+    elif missing:
+        # Build every needed design in the parent first: fork-started
+        # workers inherit the populated cache instead of re-elaborating.
+        prewarm_designs(point for _, point in missing)
+        cache_dir = None if cache is None else cache.directory
+        chunks = [
+            missing[start : start + chunk_size]
+            for start in range(0, len(missing), chunk_size)
+        ]
+        jobs = [
+            (ci, [point for _, point in chunk], tier, cache_dir)
+            for ci, chunk in enumerate(chunks)
+        ]
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=_pool_context()
+        ) as pool:
+            for chunk_index, batch in pool.map(_evaluate_batch, jobs):
+                for (index, point), result in zip(
+                    chunks[chunk_index], batch
+                ):
+                    if cache is not None:
+                        # Workers already persisted to the shared
+                        # directory; fill the parent's memory layer only.
+                        cache.put(
+                            cache_key(point, tier),
+                            result,
+                            persist=cache.directory is None,
+                        )
+                    results[index] = result
+    return results  # type: ignore[return-value]
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    *,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    highest_tier: str = "cosim",
+    chunk_size: int = 32,
+) -> CampaignResult:
+    """Run one campaign through the evaluation ladder.
+
+    Parameters
+    ----------
+    spec:
+        The sweep definition.
+    workers:
+        Process-pool width for the closed-form grid sweep; ``1`` runs
+        in-process. Promoted tiers run in-process either way (their
+        point counts are bounded by ``max_survivors``/``max_cosim``).
+    cache:
+        Content-addressed result store; misses are computed and stored,
+        hits are served (and flagged ``from_cache``) without
+        recomputation.
+    highest_tier:
+        How far up the ladder to promote: ``"closed-form"`` prices the
+        grid only, ``"exact"`` adds the schedule-solve tier, ``"cosim"``
+        (default) runs the full ladder.
+    chunk_size:
+        Points per pool batch (amortizes dispatch overhead).
+
+    Raises
+    ------
+    DSEError
+        On invalid arguments or an all-infeasible grid.
+    """
+    if highest_tier not in TIERS:
+        raise DSEError(
+            f"unknown tier {highest_tier!r}; tiers: {', '.join(TIERS)}"
+        )
+    if workers < 1:
+        raise DSEError("workers must be >= 1")
+    if chunk_size < 1:
+        raise DSEError("chunk_size must be >= 1")
+    points, skipped = spec.expand()
+    closed = _evaluate_tier(points, "closed-form", cache, workers, chunk_size)
+    front = pareto_front(closed)
+    result = CampaignResult(
+        spec=spec,
+        results=closed,
+        skipped=skipped,
+        front=front,
+        cache_stats=None if cache is None else cache.stats,
+    )
+    if highest_tier == "closed-form":
+        return result
+
+    by_point = {r.point: r for r in closed}
+    candidates = sorted(front, key=lambda r: r.step_cycles)
+    promoted = [r.point for r in candidates[: spec.max_survivors]]
+    result.survivors = _evaluate_tier(promoted, "exact", cache, 1, chunk_size)
+    for exact in result.survivors:
+        result.agreement.append(
+            AgreementCheck(
+                point=exact.point,
+                tier="exact",
+                relative_error=tier_agreement(by_point[exact.point], exact),
+                bound=TIER_AGREEMENT_BOUNDS["exact"],
+            )
+        )
+    if highest_tier == "exact":
+        return result
+
+    by_point_exact = {r.point: r for r in result.survivors}
+    finalists = sorted(result.survivors, key=lambda r: r.step_cycles)
+    promoted = [r.point for r in finalists[: spec.max_cosim]]
+    result.cosim = _evaluate_tier(promoted, "cosim", cache, 1, chunk_size)
+    for cosim in result.cosim:
+        result.agreement.append(
+            AgreementCheck(
+                point=cosim.point,
+                tier="cosim",
+                relative_error=tier_agreement(
+                    by_point_exact[cosim.point], cosim
+                ),
+                bound=TIER_AGREEMENT_BOUNDS["cosim"],
+            )
+        )
+    return result
+
+
+class CampaignExecutor:
+    """Asynchronous batch front-end over :func:`run_campaign`.
+
+    Each submitted campaign runs on its own daemon thread (which may in
+    turn own a process pool); jobs are addressed by the returned id.
+    """
+
+    def __init__(self) -> None:
+        self._jobs: dict[str, dict] = {}
+        self._lock = threading.Lock()
+        self._counter = 0
+
+    def submit(self, spec: CampaignSpec, **options) -> str:
+        """Start a campaign in the background; returns its job id.
+
+        ``options`` are forwarded to :func:`run_campaign`.
+        """
+        with self._lock:
+            self._counter += 1
+            job_id = f"{spec.name}-{self._counter}"
+            job: dict = {"result": None, "error": None}
+            self._jobs[job_id] = job
+
+        def runner() -> None:
+            try:
+                job["result"] = run_campaign(spec, **options)
+            except BaseException as exc:  # noqa: BLE001 - reported at collect
+                job["error"] = exc
+
+        thread = threading.Thread(
+            target=runner, name=f"dse-{job_id}", daemon=True
+        )
+        job["thread"] = thread
+        thread.start()
+        return job_id
+
+    def _job(self, job_id: str) -> dict:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise DSEError(f"unknown campaign job {job_id!r}") from None
+
+    def poll(self, job_id: str) -> str:
+        """``"running"``, ``"done"``, or ``"failed"``."""
+        job = self._job(job_id)
+        if job["thread"].is_alive():
+            return "running"
+        return "failed" if job["error"] is not None else "done"
+
+    def collect(self, job_id: str, timeout: float | None = None):
+        """Wait for a campaign and return its :class:`CampaignResult`.
+
+        Re-raises the campaign's exception if it failed; raises
+        :class:`~repro.errors.DSEError` if it is still running after
+        ``timeout`` seconds.
+        """
+        job = self._job(job_id)
+        job["thread"].join(timeout)
+        if job["thread"].is_alive():
+            raise DSEError(
+                f"campaign job {job_id!r} still running after {timeout}s"
+            )
+        if job["error"] is not None:
+            raise job["error"]
+        return job["result"]
+
+    def jobs(self) -> list[str]:
+        """Ids of every submitted job, in submission order."""
+        return list(self._jobs)

@@ -1,0 +1,99 @@
+"""Stable content fingerprints of configuration objects.
+
+The design-space exploration identifies work by *content*, not by
+object identity: a cache entry is valid exactly when the mesh
+parameters, the design point, and the evaluation tier that produced it
+are byte-for-byte the ones being asked for again. This module provides
+the one canonicalization both the result cache and the benchmark
+artifact metadata use, so "same configuration" means the same thing
+everywhere.
+
+Canonical form: dataclasses become ``{"__type__": ClassName, fields}``,
+mappings are key-sorted, sequences become lists, numpy scalars/arrays
+collapse to Python numbers/lists, and floats are serialized by
+``repr`` (shortest round-trip) — so the digest is stable across
+processes, dict orderings, and container flavors, while *any* value
+change (including a float's last bit) changes it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any
+
+import numpy as np
+
+from ..errors import DSEError
+
+#: Bump when the canonical form itself changes; part of every digest so
+#: stale on-disk cache entries can never satisfy a new scheme's lookup.
+CANONICAL_SCHEME = 1
+
+
+def canonicalize(value: Any) -> Any:
+    """The JSON-ready canonical form of a configuration value.
+
+    Supported: ``None``, bools, ints, floats, strings, dataclass
+    instances, mappings with string-convertible keys, sequences (list /
+    tuple / set — sets are sorted by their canonical JSON), numpy
+    scalars and arrays. Anything else (functions, arbitrary objects,
+    open handles) has no stable content identity and raises
+    :class:`~repro.errors.DSEError`.
+    """
+    if isinstance(value, np.generic):
+        # First: np.float64 subclasses float, and its repr is not the
+        # plain float's.
+        return canonicalize(value.item())
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        # repr is the shortest round-trip form: equal floats agree,
+        # different floats (even in the last bit) differ.
+        return {"__float__": repr(value)}
+    if isinstance(value, np.ndarray):
+        return [canonicalize(item) for item in value.tolist()]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        body = {
+            field.name: canonicalize(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+        body["__type__"] = type(value).__name__
+        return body
+    if isinstance(value, dict):
+        out: dict[str, Any] = {}
+        for key in value:
+            if not isinstance(key, (str, int, bool)):
+                raise DSEError(
+                    f"cannot fingerprint mapping key {key!r}: keys must "
+                    "be strings, ints, or bools"
+                )
+            out[str(key)] = canonicalize(value[key])
+        return dict(sorted(out.items()))
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(
+            (canonicalize(item) for item in value),
+            key=lambda c: json.dumps(c, sort_keys=True),
+        )
+    raise DSEError(
+        f"cannot fingerprint value of type {type(value).__name__}: no "
+        "stable content identity"
+    )
+
+
+def fingerprint(value: Any) -> str:
+    """Hex SHA-256 digest of a value's canonical form.
+
+    Equal content yields equal digests regardless of container flavor
+    (tuple vs list, dict insertion order, numpy vs Python scalars);
+    any differing field yields a different digest — both properties are
+    collision-tested by the suite.
+    """
+    canonical = {"scheme": CANONICAL_SCHEME, "value": canonicalize(value)}
+    payload = json.dumps(
+        canonical, sort_keys=True, separators=(",", ":")
+    ).encode()
+    return hashlib.sha256(payload).hexdigest()

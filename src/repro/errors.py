@@ -88,3 +88,8 @@ class CalibrationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was misconfigured or produced no data."""
+
+
+class DSEError(ReproError):
+    """A design-space-exploration campaign is misconfigured or failed
+    (invalid design point, empty grid, unknown tier, cache misuse)."""

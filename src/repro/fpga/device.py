@@ -107,3 +107,49 @@ ALVEO_U200 = FPGADevice(
     max_kernel_clock_mhz=300.0,
     max_axi_interfaces_per_kernel=16,
 )
+
+
+def hbm_class_device(num_slrs: int = 4) -> FPGADevice:
+    """A synthetic HBM-class board: every SLR memory-attached.
+
+    Models the class of boards the multi-CU analysis points at (U280/U55C
+    style stacked memory): each SLR owns its own group of HBM
+    pseudo-channels, so the compute-unit ceiling
+    (:func:`repro.accel.multi_cu.max_compute_units` — the memory-attached
+    SLR count) rises to ``num_slrs`` with no change to the design
+    machinery. SLR fabric resources reuse the U200's per-SLR split so
+    design points stay comparable across the device axis.
+    """
+    if num_slrs < 1:
+        raise FPGAError("an HBM-class device needs at least one SLR")
+    return FPGADevice(
+        name=f"hbm-class-{num_slrs}slr",
+        slrs=tuple(
+            _u200_slr(f"SLR{i}", has_ddr=True) for i in range(num_slrs)
+        ),
+        num_ddr_channels=8 * num_slrs,
+        ddr_capacity_gib_per_channel=2,
+        sll_crossing_latency_cycles=4,
+        max_kernel_clock_mhz=300.0,
+        max_axi_interfaces_per_kernel=16,
+    )
+
+
+#: The canonical HBM-class design-space axis value (4 memory-attached
+#: SLRs, admitting up to 4 compute units).
+HBM_CLASS_4SLR = hbm_class_device(4)
+
+#: Device axis of the design space: short name -> device model.
+DEVICE_REGISTRY: dict[str, FPGADevice] = {
+    "u200": ALVEO_U200,
+    "hbm": HBM_CLASS_4SLR,
+}
+
+
+def device_by_name(name: str) -> FPGADevice:
+    """Resolve a design-space device-axis value to its device model."""
+    try:
+        return DEVICE_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(DEVICE_REGISTRY))
+        raise FPGAError(f"unknown device {name!r}; known: {known}") from None

@@ -1,0 +1,127 @@
+"""Content-addressed cache semantics: hits, invalidation, concurrency."""
+
+import dataclasses
+import multiprocessing
+
+import pytest
+
+from repro.dse.cache import ResultCache, cache_key
+from repro.dse.campaign import DesignPoint
+from repro.dse.tiers import evaluate_closed_form
+from repro.errors import DSEError
+
+POINT = DesignPoint(polynomial_order=2, elements_per_direction=2)
+
+
+def test_key_depends_on_tier_and_every_point_field():
+    base = cache_key(POINT, "closed-form")
+    assert cache_key(POINT, "exact") != base
+    assert cache_key(POINT, "cosim") != base
+    for name, value in (
+        ("block_size", 2),
+        ("num_cus", 2),
+        ("device", "hbm"),
+        ("fusion", "none"),
+        ("partition", "contiguous"),
+        ("num_steps", 2),
+        ("case", "channel"),
+        ("polynomial_order", 3),
+        ("elements_per_direction", 3),
+    ):
+        changed = dataclasses.replace(POINT, **{name: value})
+        assert cache_key(changed, "closed-form") != base, name
+
+
+def test_unknown_tier_raises():
+    with pytest.raises(DSEError):
+        cache_key(POINT, "rtl")
+
+
+def test_memory_hit_miss_accounting():
+    cache = ResultCache()
+    assert cache.lookup(POINT, "closed-form") is None
+    assert cache.stats.misses == 1 and cache.stats.hits == 0
+    result = evaluate_closed_form(POINT)
+    cache.store(POINT, "closed-form", result)
+    assert cache.stats.writes == 1
+    hit = cache.lookup(POINT, "closed-form")
+    assert hit is not None and hit.from_cache
+    assert cache.stats.hits == 1
+    assert cache.stats.hit_rate == 0.5
+
+
+def test_cached_result_is_bitwise_identical(tmp_path):
+    cache = ResultCache(tmp_path)
+    fresh = evaluate_closed_form(POINT)
+    cache.store(POINT, "closed-form", fresh)
+
+    # A separate instance must read back through the JSON file.
+    other = ResultCache(tmp_path)
+    cached = other.lookup(POINT, "closed-form")
+    assert cached is not None and cached.from_cache
+    for field in (
+        "step_cycles",
+        "rkl_stage_cycles",
+        "rku_step_cycles",
+        "clock_mhz",
+        "step_seconds",
+        "run_seconds",
+        "lut",
+        "ff",
+        "bram36",
+        "uram",
+        "dsp",
+    ):
+        assert getattr(cached, field) == getattr(fresh, field), field
+    assert cached.point == fresh.point
+
+
+def test_parameter_change_invalidates(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.store(POINT, "closed-form", evaluate_closed_form(POINT))
+    changed = dataclasses.replace(POINT, block_size=2)
+    assert cache.lookup(changed, "closed-form") is None
+
+
+def test_directory_must_be_a_directory(tmp_path):
+    target = tmp_path / "file"
+    target.write_text("x")
+    with pytest.raises(DSEError):
+        ResultCache(target)
+
+
+def test_corrupt_entry_raises(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = cache_key(POINT, "closed-form")
+    (tmp_path / f"{key}.json").write_text("{not json")
+    with pytest.raises(DSEError, match="unreadable"):
+        cache.get(key)
+
+
+def _write_entries(args):
+    directory, points = args
+    cache = ResultCache(directory)
+    for point in points:
+        cache.store(point, "closed-form", evaluate_closed_form(point))
+    return len(points)
+
+
+def test_concurrent_writers_never_tear_entries(tmp_path):
+    """Several processes racing on the SAME keys must leave every entry
+    complete and readable (atomic replace semantics)."""
+    points = [
+        dataclasses.replace(POINT, block_size=b, num_cus=n)
+        for b in (1, 2, 4)
+        for n in (1, 2)
+    ]
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(3) as pool:
+        pool.map(_write_entries, [(str(tmp_path), points)] * 3)
+    reader = ResultCache(tmp_path)
+    for point in points:
+        result = reader.lookup(point, "closed-form")
+        assert result is not None
+        fresh = evaluate_closed_form(point)
+        assert result.step_cycles == fresh.step_cycles
+    # No stray temp files survive the race.
+    assert not list(tmp_path.glob("*.tmp"))

@@ -1,0 +1,149 @@
+"""Design points and campaign expansion: arithmetic, validation, feasibility."""
+
+import numpy as np
+import pytest
+
+from repro.dse.campaign import CampaignSpec, DesignPoint
+from repro.errors import DSEError
+
+
+def test_default_point_is_feasible():
+    point = DesignPoint()
+    assert point.is_feasible
+    assert point.infeasibility() is None
+
+
+def test_mesh_arithmetic_matches_built_meshes():
+    for point in (
+        DesignPoint(polynomial_order=2, elements_per_direction=2),
+        DesignPoint(polynomial_order=3, elements_per_direction=2),
+        DesignPoint(polynomial_order=2, elements_per_direction=3, case="channel"),
+    ):
+        mesh = point.mesh()
+        assert mesh.num_elements == point.num_elements
+        assert mesh.num_nodes == point.num_nodes
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"polynomial_order": 0},
+        {"elements_per_direction": 0},
+        {"block_size": 0},
+        {"num_cus": 0},
+        {"num_steps": 0},
+        {"device": "versal"},
+        {"fusion": "super"},
+        {"partition": "striped"},
+        {"case": "cavity"},
+    ],
+)
+def test_invalid_point_fields_raise(kwargs):
+    with pytest.raises(DSEError):
+        DesignPoint(**kwargs)
+
+
+def test_cu_ceiling_is_a_device_property():
+    u200 = DesignPoint(num_cus=4, device="u200", elements_per_direction=2)
+    assert not u200.is_feasible
+    assert "memory-attached" in u200.infeasibility()
+    hbm = DesignPoint(num_cus=4, device="hbm", elements_per_direction=2)
+    assert hbm.is_feasible
+
+
+def test_more_cus_than_elements_is_infeasible():
+    point = DesignPoint(num_cus=2, device="u200", elements_per_direction=1)
+    assert not point.is_feasible
+    assert "element" in point.infeasibility()
+
+
+def test_periodic_seam_minimum():
+    point = DesignPoint(polynomial_order=1, elements_per_direction=1)
+    assert not point.is_feasible
+    assert "nodes per direction" in point.infeasibility()
+
+
+def test_partitions_cover_mesh_once_for_both_strategies():
+    for strategy in ("balanced", "contiguous"):
+        point = DesignPoint(
+            elements_per_direction=3, num_cus=2, partition=strategy
+        )
+        parts = point.element_partitions()
+        assert len(parts) == point.num_cus
+        covered = np.sort(np.concatenate(parts))
+        assert np.array_equal(covered, np.arange(point.num_elements))
+
+
+def test_contiguous_falls_back_when_batches_underfill_cus():
+    """Ceil-sized contiguous batches can exhaust the mesh early; the
+    shard count must still equal num_cus."""
+    point = DesignPoint(
+        elements_per_direction=2,
+        num_cus=3,
+        device="hbm",
+        partition="contiguous",
+    )
+    parts = point.element_partitions()
+    assert len(parts) == 3
+    assert sum(len(p) for p in parts) == point.num_elements
+
+
+def test_campaign_expand_counts_and_order():
+    spec = CampaignSpec(
+        name="t",
+        axes=(
+            ("num_cus", (1, 2, 4)),
+            ("device", ("u200", "hbm")),
+        ),
+    )
+    points, skipped = spec.expand()
+    # 4 CUs on the U200 is the one infeasible combination.
+    assert len(points) == 5
+    assert len(skipped) == 1
+    assert skipped[0][0].num_cus == 4 and skipped[0][0].device == "u200"
+    # Deterministic expansion order: last axis fastest.
+    assert [(p.num_cus, p.device) for p in points] == [
+        (1, "u200"),
+        (1, "hbm"),
+        (2, "u200"),
+        (2, "hbm"),
+        (4, "hbm"),
+    ]
+
+
+def test_campaign_axes_validation():
+    with pytest.raises(DSEError):
+        CampaignSpec(name="t", axes=(("warp_speed", (1,)),))
+    with pytest.raises(DSEError):
+        CampaignSpec(name="t", axes=(("num_cus", ()),))
+    with pytest.raises(DSEError):
+        CampaignSpec(
+            name="t", axes=(("num_cus", (1,)), ("num_cus", (2,)))
+        )
+    with pytest.raises(DSEError):
+        CampaignSpec(name="", axes=())
+    with pytest.raises(DSEError):
+        CampaignSpec(name="t", axes=(), max_survivors=0)
+
+
+def test_all_infeasible_grid_raises():
+    spec = CampaignSpec(
+        name="t",
+        axes=(("num_cus", (3, 4)),),
+        base=DesignPoint(device="u200"),
+    )
+    with pytest.raises(DSEError, match="no feasible points"):
+        spec.expand()
+
+
+def test_axis_values_reject_invalid_members_at_expansion():
+    spec = CampaignSpec(name="t", axes=(("fusion", ("full", "warp")),))
+    with pytest.raises(DSEError):
+        spec.expand()
+
+
+def test_spec_dict_is_json_ready():
+    import json
+
+    spec = CampaignSpec(name="t", axes=(("num_cus", (1, 2)),))
+    json.dumps(spec.spec())

@@ -1,0 +1,145 @@
+"""Campaign execution: the ladder, the pool, the cache, the async API."""
+
+import pytest
+
+from repro.dse import (
+    CampaignExecutor,
+    CampaignSpec,
+    DesignPoint,
+    ResultCache,
+    run_campaign,
+)
+from repro.errors import DSEError
+
+SPEC = CampaignSpec(
+    name="exec-test",
+    axes=(
+        ("elements_per_direction", (2, 3)),
+        ("block_size", (1, 2)),
+        ("num_cus", (1, 2, 4)),
+        ("device", ("u200", "hbm")),
+    ),
+    max_survivors=4,
+    max_cosim=2,
+)
+
+
+def test_closed_form_campaign_covers_the_grid():
+    result = run_campaign(SPEC, highest_tier="closed-form")
+    points, skipped = SPEC.expand()
+    assert [r.point for r in result.results] == points
+    assert result.skipped == skipped
+    assert result.num_grid_points == len(points) + len(skipped)
+    assert result.front
+    assert result.survivors == [] and result.cosim == []
+    assert all(r.tier == "closed-form" for r in result.results)
+
+
+def test_full_ladder_promotes_and_agrees():
+    result = run_campaign(SPEC, highest_tier="cosim")
+    assert 0 < len(result.survivors) <= SPEC.max_survivors
+    assert 0 < len(result.cosim) <= SPEC.max_cosim
+    assert all(r.tier == "exact" for r in result.survivors)
+    assert all(r.tier == "cosim" for r in result.cosim)
+    assert len(result.agreement) == len(result.survivors) + len(result.cosim)
+    assert result.violations == []
+    # Survivors are front members; finalists are survivors.
+    front_points = {r.point for r in result.front}
+    assert all(r.point in front_points for r in result.survivors)
+    survivor_points = {r.point for r in result.survivors}
+    assert all(r.point in survivor_points for r in result.cosim)
+
+
+def test_parallel_merge_is_deterministic():
+    serial = run_campaign(SPEC, workers=1, highest_tier="closed-form")
+    pooled = run_campaign(
+        SPEC, workers=2, chunk_size=5, highest_tier="closed-form"
+    )
+    assert [r.point for r in pooled.results] == [
+        r.point for r in serial.results
+    ]
+    assert [r.step_cycles for r in pooled.results] == [
+        r.step_cycles for r in serial.results
+    ]
+    assert [r.point for r in pooled.front] == [r.point for r in serial.front]
+
+
+def test_warm_cache_serves_everything(tmp_path):
+    cold_cache = ResultCache(tmp_path)
+    cold = run_campaign(SPEC, cache=cold_cache, highest_tier="exact")
+    assert cold_cache.stats.hits == 0
+    assert cold_cache.stats.misses > 0
+
+    warm_cache = ResultCache(tmp_path)
+    warm = run_campaign(SPEC, cache=warm_cache, highest_tier="exact")
+    assert warm_cache.stats.misses == 0
+    assert warm_cache.stats.hit_rate == 1.0
+    assert all(r.from_cache for r in warm.results)
+    assert all(r.from_cache for r in warm.survivors)
+    assert [r.step_cycles for r in warm.results] == [
+        r.step_cycles for r in cold.results
+    ]
+    assert warm.to_dict()["pareto_front"] == cold.to_dict()["pareto_front"]
+
+
+def test_pool_workers_persist_to_shared_cache(tmp_path):
+    cache = ResultCache(tmp_path)
+    result = run_campaign(
+        SPEC, workers=2, cache=cache, highest_tier="closed-form"
+    )
+    # Every priced point landed on disk (written by the pool workers),
+    # so a fresh instance sees a fully warm cache.
+    fresh = ResultCache(tmp_path)
+    warm = run_campaign(SPEC, cache=fresh, highest_tier="closed-form")
+    assert fresh.stats.misses == 0
+    assert [r.step_cycles for r in warm.results] == [
+        r.step_cycles for r in result.results
+    ]
+
+
+def test_campaign_result_to_dict_is_json_ready(tmp_path):
+    import json
+
+    cache = ResultCache(tmp_path)
+    result = run_campaign(SPEC, cache=cache, highest_tier="cosim")
+    payload = json.dumps(result.to_dict())
+    assert "pareto_front" in payload
+    assert result.to_dict()["cache"]["misses"] == cache.stats.misses
+
+
+def test_invalid_arguments():
+    with pytest.raises(DSEError):
+        run_campaign(SPEC, workers=0)
+    with pytest.raises(DSEError):
+        run_campaign(SPEC, chunk_size=0)
+    with pytest.raises(DSEError):
+        run_campaign(SPEC, highest_tier="rtl")
+
+
+def test_async_submit_poll_collect():
+    executor = CampaignExecutor()
+    jobs = [
+        executor.submit(SPEC, highest_tier="closed-form") for _ in range(2)
+    ]
+    assert executor.jobs() == jobs
+    results = [executor.collect(job, timeout=120) for job in jobs]
+    for job in jobs:
+        assert executor.poll(job) == "done"
+    assert [r.step_cycles for r in results[0].results] == [
+        r.step_cycles for r in results[1].results
+    ]
+
+
+def test_async_failure_is_reported_and_reraised():
+    executor = CampaignExecutor()
+    bad = CampaignSpec(
+        name="bad",
+        axes=(("num_cus", (3, 4)),),
+        base=DesignPoint(device="u200"),
+    )
+    job = executor.submit(bad)
+    with pytest.raises(DSEError, match="no feasible points"):
+        executor.collect(job, timeout=60)
+    assert executor.poll(job) == "failed"
+    with pytest.raises(DSEError, match="unknown campaign job"):
+        executor.poll("nope-1")

@@ -1,0 +1,93 @@
+"""Stable-hash semantics: equal content agrees, any change collides away."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import SolverConfig
+from repro.dse.fingerprint import canonicalize, fingerprint
+from repro.dse.campaign import DesignPoint
+from repro.errors import DSEError
+
+
+def test_equal_content_agrees_across_container_flavors():
+    assert fingerprint([1, 2, 3]) == fingerprint((1, 2, 3))
+    assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+    assert fingerprint(np.int64(7)) == fingerprint(7)
+    assert fingerprint(np.array([1.5, 2.5])) == fingerprint([1.5, 2.5])
+    assert fingerprint(np.float64(1.5)) == fingerprint(1.5)
+
+
+def test_digest_is_stable_across_calls():
+    point = DesignPoint()
+    assert fingerprint(point) == fingerprint(DesignPoint())
+
+
+def test_every_design_point_field_is_significant():
+    """Changing any single field must change the digest (the cache's
+    invalidation-on-any-parameter guarantee)."""
+    base = DesignPoint()
+    variants = {
+        "polynomial_order": 3,
+        "elements_per_direction": 3,
+        "block_size": 2,
+        "num_cus": 2,
+        "device": "hbm",
+        "fusion": "none",
+        "partition": "contiguous",
+        "num_steps": 2,
+        "case": "channel",
+    }
+    digests = {fingerprint(base)}
+    for name, value in variants.items():
+        digest = fingerprint(dataclasses.replace(base, **{name: value}))
+        assert digest not in digests, f"field {name} did not move the digest"
+        digests.add(digest)
+
+
+def test_float_last_bit_is_significant():
+    value = 0.1
+    bumped = np.nextafter(value, 1.0)
+    assert fingerprint(value) != fingerprint(float(bumped))
+
+
+def test_dataclass_type_name_is_part_of_identity():
+    point = DesignPoint()
+    as_dict = {
+        field.name: getattr(point, field.name)
+        for field in dataclasses.fields(point)
+    }
+    assert fingerprint(point) != fingerprint(as_dict)
+
+
+def test_bool_and_int_do_not_collide():
+    assert fingerprint(True) != fingerprint(1)
+    assert fingerprint({"x": 1.0}) != fingerprint({"x": 1})
+
+
+def test_solver_config_fingerprints():
+    a = fingerprint(SolverConfig())
+    b = fingerprint(SolverConfig(polynomial_order=3))
+    assert a != b
+    assert a == fingerprint(SolverConfig())
+
+
+def test_sets_are_order_free():
+    assert fingerprint({3, 1, 2}) == fingerprint({2, 3, 1})
+
+
+def test_unsupported_types_raise():
+    with pytest.raises(DSEError):
+        fingerprint(lambda: None)
+    with pytest.raises(DSEError):
+        fingerprint({("tuple", "key"): 1})
+
+
+def test_canonical_form_is_json_ready():
+    import json
+
+    canonical = canonicalize(
+        {"point": DesignPoint(), "values": (1, 2.5, np.float64(3.5))}
+    )
+    json.dumps(canonical)  # must not raise

@@ -1,0 +1,84 @@
+"""Pareto-front extraction: domination semantics and determinism."""
+
+import numpy as np
+import pytest
+
+from repro.dse.campaign import DesignPoint
+from repro.dse.pareto import pareto_front, pareto_indices
+from repro.dse.tiers import evaluate_closed_form
+from repro.errors import DSEError
+
+
+def test_known_front():
+    values = np.array(
+        [
+            [1.0, 5.0],  # front (best first objective)
+            [5.0, 1.0],  # front (best second objective)
+            [3.0, 3.0],  # front (trade-off)
+            [4.0, 4.0],  # dominated by [3, 3]
+            [6.0, 6.0],  # dominated by everything
+        ]
+    )
+    assert pareto_indices(values).tolist() == [0, 1, 2]
+
+
+def test_duplicates_are_all_kept():
+    values = np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 2.0]])
+    assert pareto_indices(values).tolist() == [0, 1]
+
+
+def test_single_objective_is_the_minimum():
+    values = np.array([[3.0], [1.0], [2.0], [1.0]])
+    assert pareto_indices(values).tolist() == [1, 3]
+
+
+def test_front_soundness_on_real_results():
+    """No front member is dominated; every non-member is dominated by
+    some member — checked on genuinely priced design points."""
+    results = [
+        evaluate_closed_form(p)
+        for p in (
+            DesignPoint(elements_per_direction=2),
+            DesignPoint(elements_per_direction=2, num_cus=2),
+            DesignPoint(elements_per_direction=3),
+            DesignPoint(elements_per_direction=2, block_size=4),
+            DesignPoint(elements_per_direction=2, device="hbm"),
+        )
+    ]
+    front = pareto_front(results)
+    assert front
+    keys = ("step_cycles", "lut", "dsp", "bram36")
+
+    def dominates(a, b):
+        le = all(getattr(a, k) <= getattr(b, k) for k in keys)
+        lt = any(getattr(a, k) < getattr(b, k) for k in keys)
+        return le and lt
+
+    for member in front:
+        assert not any(dominates(other, member) for other in results)
+    for result in results:
+        if result not in front:
+            assert any(dominates(member, result) for member in front)
+
+
+def test_front_preserves_input_order():
+    results = [
+        evaluate_closed_form(DesignPoint(elements_per_direction=2, num_cus=n))
+        for n in (2, 1)
+    ]
+    front = pareto_front(results)
+    positions = [results.index(r) for r in front]
+    assert positions == sorted(positions)
+
+
+def test_empty_and_invalid_inputs():
+    assert pareto_front([]) == []
+    result = evaluate_closed_form(DesignPoint())
+    with pytest.raises(DSEError):
+        pareto_front([result], objectives=("speed_of_light",))
+    with pytest.raises(DSEError):
+        pareto_front([result], objectives=())
+    with pytest.raises(DSEError):
+        pareto_indices(np.array([]))
+    with pytest.raises(DSEError):
+        pareto_indices(np.array([1.0, 2.0]))

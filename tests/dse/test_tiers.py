@@ -1,0 +1,138 @@
+"""Tier agreement: closed form vs exact schedule solve vs co-simulation."""
+
+import dataclasses
+
+import pytest
+
+from repro.dse.campaign import DesignPoint
+from repro.dse.tiers import (
+    TIER_AGREEMENT_BOUNDS,
+    PointResult,
+    design_for,
+    evaluate_closed_form,
+    evaluate_cosim,
+    evaluate_exact,
+    evaluate_point,
+    tier_agreement,
+)
+from repro.errors import DSEError
+
+#: Sampled sub-grid spanning both cases, both devices, orders, CU
+#: counts, and block sizes — small enough for tier-1, wide enough to
+#: exercise every code path of all three evaluators.
+SAMPLED_POINTS = [
+    DesignPoint(polynomial_order=2, elements_per_direction=2),
+    DesignPoint(polynomial_order=3, elements_per_direction=2, block_size=2),
+    DesignPoint(polynomial_order=2, elements_per_direction=3, num_cus=2),
+    DesignPoint(
+        polynomial_order=2,
+        elements_per_direction=2,
+        num_cus=4,
+        device="hbm",
+        partition="contiguous",
+    ),
+    DesignPoint(polynomial_order=2, elements_per_direction=2, case="channel"),
+    DesignPoint(
+        polynomial_order=2,
+        elements_per_direction=2,
+        block_size=4,
+        num_cus=2,
+        case="channel",
+        fusion="none",
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "point", SAMPLED_POINTS, ids=lambda p: f"p{p.polynomial_order}-"
+    f"epd{p.elements_per_direction}-b{p.block_size}-n{p.num_cus}-"
+    f"{p.device}-{p.case}"
+)
+def test_closed_form_vs_exact_within_bound(point):
+    closed = evaluate_closed_form(point)
+    exact = evaluate_exact(point)
+    assert tier_agreement(closed, exact) < TIER_AGREEMENT_BOUNDS["exact"]
+
+
+@pytest.mark.parametrize(
+    "point",
+    [SAMPLED_POINTS[0], SAMPLED_POINTS[2], SAMPLED_POINTS[4]],
+    ids=["tgv", "tgv-2cu", "channel"],
+)
+def test_exact_vs_cosim_within_bound(point):
+    exact = evaluate_exact(point)
+    cosim = evaluate_cosim(point)
+    assert tier_agreement(exact, cosim) < TIER_AGREEMENT_BOUNDS["cosim"]
+    # The co-simulated step computed real physics while it was priced.
+    assert cosim.state_max_rel_err is not None
+    assert cosim.state_max_rel_err < 1e-12
+
+
+def test_exact_rkl_matches_cosim_windows_exactly():
+    """The payload-free schedule solve prices the very graphs the
+    payload-carrying run executes: same RKL and RKU cycles, exactly."""
+    point = DesignPoint(polynomial_order=2, elements_per_direction=2, num_cus=2)
+    exact = evaluate_exact(point)
+    cosim = evaluate_cosim(point)
+    assert exact.rkl_stage_cycles == cosim.rkl_stage_cycles
+    assert exact.rku_step_cycles == cosim.rku_step_cycles
+
+
+def test_fusion_mode_does_not_move_timing():
+    """Role-group sums are fusion-invariant, so every fusion mode prices
+    identically at the closed-form AND exact tiers (the axis still
+    matters for cache identity)."""
+    for evaluate in (evaluate_closed_form, evaluate_exact):
+        cycles = {
+            fusion: evaluate(
+                DesignPoint(elements_per_direction=2, fusion=fusion)
+            ).step_cycles
+            for fusion in ("none", "gather", "full")
+        }
+        assert len(set(cycles.values())) == 1, cycles
+
+
+def test_multi_cu_shortens_the_stage():
+    one = evaluate_closed_form(DesignPoint(elements_per_direction=3))
+    two = evaluate_closed_form(
+        DesignPoint(elements_per_direction=3, num_cus=2)
+    )
+    assert two.rkl_stage_cycles < one.rkl_stage_cycles
+    # RKU is the unsharded Amdahl term.
+    assert two.rku_step_cycles == one.rku_step_cycles
+    # Replicated compute units cost fabric.
+    assert two.lut > one.lut and two.dsp > one.dsp
+
+
+def test_evaluate_point_dispatch_and_errors():
+    point = DesignPoint(elements_per_direction=2)
+    result = evaluate_point(point, "closed-form")
+    assert result.tier == "closed-form"
+    with pytest.raises(DSEError, match="unknown tier"):
+        evaluate_point(point, "rtl")
+    infeasible = DesignPoint(num_cus=4, device="u200")
+    with pytest.raises(DSEError, match="infeasible"):
+        evaluate_point(infeasible, "closed-form")
+
+
+def test_design_cache_reuses_builds():
+    a = design_for(DesignPoint(polynomial_order=2, block_size=4))
+    b = design_for(DesignPoint(polynomial_order=2, num_cus=2, num_steps=3))
+    assert a is b  # same (order, device) key
+    c = design_for(DesignPoint(polynomial_order=2, device="hbm"))
+    assert c is not a
+
+
+def test_run_seconds_scales_with_steps():
+    one = evaluate_closed_form(DesignPoint(num_steps=1))
+    three = evaluate_closed_form(dataclasses.replace(one.point, num_steps=3))
+    assert three.step_cycles == one.step_cycles
+    assert three.run_seconds == pytest.approx(3 * one.run_seconds)
+
+
+def test_point_result_roundtrips_through_dict():
+    fresh = evaluate_closed_form(DesignPoint(elements_per_direction=2))
+    back = PointResult.from_dict(fresh.to_dict())
+    assert back == fresh
+    with pytest.raises(DSEError, match="malformed"):
+        PointResult.from_dict({"tier": "closed-form"})

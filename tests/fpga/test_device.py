@@ -3,7 +3,15 @@
 import pytest
 
 from repro.errors import FPGAError
-from repro.fpga.device import ALVEO_U200, FPGADevice, SLR
+from repro.fpga.device import (
+    ALVEO_U200,
+    DEVICE_REGISTRY,
+    HBM_CLASS_4SLR,
+    SLR,
+    FPGADevice,
+    device_by_name,
+    hbm_class_device,
+)
 from repro.hls.resources import ResourceVector
 
 
@@ -49,3 +57,37 @@ class TestValidation:
     def test_slr_needs_positive_resources(self):
         with pytest.raises(FPGAError):
             SLR(name="bad", resources=ResourceVector(), has_ddr_attach=False)
+
+
+class TestHBMClass:
+    def test_every_slr_is_memory_attached(self):
+        device = hbm_class_device(4)
+        assert len(device.slrs) == 4
+        assert all(slr.has_ddr_attach for slr in device.slrs)
+        assert device.ddr_attached_slrs() == list(device.slrs)
+
+    def test_default_matches_registry_constant(self):
+        assert HBM_CLASS_4SLR.name == "hbm-class-4slr"
+        assert HBM_CLASS_4SLR.num_ddr_channels == 32
+
+    def test_per_slr_split_reuses_the_u200(self):
+        assert (
+            hbm_class_device(3).totals().lut
+            == pytest.approx(ALVEO_U200.totals().lut)
+        )
+
+    def test_needs_at_least_one_slr(self):
+        with pytest.raises(FPGAError):
+            hbm_class_device(0)
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert DEVICE_REGISTRY["u200"] is ALVEO_U200
+        assert DEVICE_REGISTRY["hbm"] is HBM_CLASS_4SLR
+        assert device_by_name("u200") is ALVEO_U200
+        assert device_by_name("hbm") is HBM_CLASS_4SLR
+
+    def test_unknown_name_lists_known_devices(self):
+        with pytest.raises(FPGAError, match="u200"):
+            device_by_name("versal")

@@ -49,6 +49,36 @@ def test_every_example_has_smoke_args():
     )
 
 
+def test_every_documented_example_flag_exists():
+    """Docs must never advertise a --flag an example rejects."""
+    smoke = _load_smoke_module()
+    failures = smoke.check_example_flags()
+    assert not failures, f"documented flags missing from argparsers: {failures}"
+
+
+def test_dse_campaign_example_declares_sweep_controls():
+    """The campaign example must expose the worker/tier controls the
+    docs and CI rely on."""
+    smoke = _load_smoke_module()
+    declared = smoke.example_declared_flags(
+        REPO_ROOT / "examples" / "dse_campaign.py"
+    )
+    for flag in ("--workers", "--tier", "--cache-dir", "--json"):
+        assert flag in declared, f"dse_campaign.py lost its {flag} flag"
+
+
+def test_architecture_documents_the_dse_engine():
+    text = (REPO_ROOT / "ARCHITECTURE.md").read_text()
+    for needle in (
+        "Design-space exploration",
+        "run_campaign",
+        "ResultCache",
+        "pareto_front",
+        "exact_rkl_stage_cycles",
+    ):
+        assert needle in text, f"ARCHITECTURE.md lost its {needle!r} coverage"
+
+
 def test_architecture_documents_the_cosim_extension():
     text = (REPO_ROOT / "ARCHITECTURE.md").read_text()
     for needle in (

@@ -5,7 +5,10 @@ Two gates, both cheap enough for every CI run:
 
 1. **README integrity** — every repo-relative path referenced by
    ``README.md`` (markdown links and inline-code paths) must exist, so
-   the front door never points at files that moved or were renamed.
+   the front door never points at files that moved or were renamed; and
+   every ``--flag`` an example documents (its own docstring, README
+   code blocks that mention it) must exist in that example's argparser,
+   so usage lines never advertise options the script rejects.
 2. **Examples smoke** — every ``examples/*.py`` script runs end to end
    with small "smoke mode" arguments (seconds, not minutes). A new
    example without a registered smoke command fails the check, which
@@ -20,6 +23,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import ast
 import os
 import re
 import subprocess
@@ -41,6 +45,11 @@ SMOKE_ARGS: dict[str, list[str]] = {
     "functional_cosim.py": [
         "2", "3", "--block-size", "4", "--num-cus", "2", "--full-step",
         "--num-steps", "2", "--engine", "vectorized",
+    ],
+    "dse_campaign.py": [
+        "--orders", "2", "--meshes", "2,3", "--blocks", "1,2",
+        "--cus", "1,2", "--fusions", "full", "--tier", "cosim",
+        "--workers", "2",
     ],
 }
 
@@ -86,6 +95,64 @@ def check_readme() -> list[str]:
         for path in readme_referenced_paths(readme)
         if not (REPO_ROOT / path).exists()
     )
+
+
+def example_documented_flags(script: Path, readme_text: str) -> set[str]:
+    """Every ``--flag`` the docs promise for one example.
+
+    Collected from the script's own module docstring and from README
+    fenced code blocks that mention the script by name.
+    """
+    tree = ast.parse(script.read_text())
+    flags = set(re.findall(r"(--[a-z][a-z0-9-]*)", ast.get_docstring(tree) or ""))
+    for block in re.findall(r"```[^\n]*\n(.*?)```", readme_text, re.DOTALL):
+        if script.name in block:
+            flags |= set(re.findall(r"(--[a-z][a-z0-9-]*)", block))
+    return flags
+
+
+def example_declared_flags(script: Path) -> set[str]:
+    """Every ``--flag`` an example's argparser actually accepts.
+
+    Static AST walk over ``add_argument`` calls (no execution), plus
+    the shared ``add_backend_argument`` helper, which contributes
+    ``--backend``.
+    """
+    flags: set[str] = set()
+    for node in ast.walk(ast.parse(script.read_text())):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else getattr(
+            func, "id", ""
+        )
+        if name == "add_argument":
+            for arg in node.args:
+                if (
+                    isinstance(arg, ast.Constant)
+                    and isinstance(arg.value, str)
+                    and arg.value.startswith("--")
+                ):
+                    flags.add(arg.value)
+        elif name == "add_backend_argument":
+            flags.add("--backend")
+    return flags
+
+
+def check_example_flags() -> list[str]:
+    """Documented example flags missing from their argparsers."""
+    readme = REPO_ROOT / "README.md"
+    readme_text = readme.read_text() if readme.exists() else ""
+    failures: list[str] = []
+    for script in sorted(EXAMPLES_DIR.glob("*.py")):
+        documented = example_documented_flags(script, readme_text)
+        missing = sorted(documented - example_declared_flags(script))
+        if missing:
+            failures.append(
+                f"{script.name}: documented flags missing from its "
+                f"argparser: {missing}"
+            )
+    return failures
 
 
 def check_examples() -> list[str]:
@@ -148,6 +215,14 @@ def main() -> int:
         print(f"  MISSING {path}")
     if not missing:
         print("  ok: every referenced path exists")
+
+    print("== example flag integrity check ==")
+    flag_failures = check_example_flags()
+    for failure in flag_failures:
+        print(f"  FAIL {failure}")
+    if not flag_failures:
+        print("  ok: every documented flag exists in its argparser")
+    missing.extend(flag_failures)
 
     failures: list[str] = []
     if not args.readme_only:
