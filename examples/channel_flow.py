@@ -11,7 +11,7 @@ rare wall-bounded case with a closed-form Navier-Stokes solution).
 Usage::
 
     python examples/channel_flow.py [elements_per_direction] [steps] \
-        [--backend reference|fast]
+        [--backend reference|fast|threaded|procs] [--num-workers N]
 """
 
 from __future__ import annotations
@@ -20,7 +20,11 @@ import argparse
 
 import numpy as np
 
-from repro.backend import add_backend_argument, resolve_backend_name
+from repro.backend import (
+    add_backend_argument,
+    add_num_workers_argument,
+    resolve_backend_name,
+)
 from repro.mesh import channel_mesh
 from repro.physics.channel import (
     decaying_shear_exact,
@@ -36,6 +40,7 @@ def main() -> None:
     parser.add_argument("elements", nargs="?", type=int, default=4)
     parser.add_argument("steps", nargs="?", type=int, default=40)
     add_backend_argument(parser)
+    add_num_workers_argument(parser)
     args = parser.parse_args()
     elements, steps = args.elements, args.steps
     backend = resolve_backend_name(args.backend)
@@ -49,7 +54,10 @@ def main() -> None:
     print(f"mesh: {mesh.num_nodes} nodes, periodic axes {mesh.periodic_axes}")
 
     init = decaying_shear_initial(mesh.coords, case)
-    sim = Simulation(mesh, case, initial_state=init, cfl=0.4, backend=backend)
+    sim = Simulation(
+        mesh, case, initial_state=init, cfl=0.4, backend=backend,
+        num_workers=args.num_workers,
+    )
     print(f"wall nodes strongly enforced: {sim.operator.wall_nodes.size}")
 
     result = sim.run(steps)

@@ -30,7 +30,8 @@ traces are identical.
 Usage::
 
     python examples/functional_cosim.py [elements_per_direction] [order] \
-        [--backend reference|fast] [--case tgv|channel] \
+        [--backend reference|fast|threaded|procs] [--num-workers W] \
+        [--case tgv|channel] \
         [--block-size B] [--num-cus N] [--full-step] [--num-steps K] \
         [--engine event|vectorized|auto]
 """
@@ -41,7 +42,11 @@ import argparse
 
 from repro.accel.cosim import cosimulate_small_mesh
 from repro.accel.designs import proposed_design
-from repro.backend import add_backend_argument, resolve_backend_name
+from repro.backend import (
+    add_backend_argument,
+    add_num_workers_argument,
+    resolve_backend_name,
+)
 from repro.mesh.hexmesh import channel_mesh, periodic_box_mesh
 from repro.pipeline import navier_stokes_pipeline
 
@@ -89,6 +94,7 @@ def main() -> None:
         "the vectorized schedule engine, or auto (default)",
     )
     add_backend_argument(parser)
+    add_num_workers_argument(parser)
     args = parser.parse_args()
     backend = resolve_backend_name(args.backend)
 
@@ -125,6 +131,7 @@ def main() -> None:
         block_size=args.block_size,
         num_cus=args.num_cus,
         engine=args.engine,
+        num_workers=args.num_workers,
     )
     print(result.trace.report())
     print()
@@ -176,6 +183,7 @@ def main() -> None:
             num_cus=args.num_cus,
             num_steps=args.num_steps,
             engine=args.engine,
+            num_workers=args.num_workers,
         )
         print(
             f"streamed {step.num_steps} step(s) vs Simulation.step: "

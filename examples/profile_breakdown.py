@@ -11,14 +11,18 @@
 Usage::
 
     python examples/profile_breakdown.py [elements_per_direction] [steps] \
-        [--backend reference|fast]
+        [--backend reference|fast|threaded|procs] [--num-workers N]
 """
 
 from __future__ import annotations
 
 import argparse
 
-from repro.backend import add_backend_argument, resolve_backend_name
+from repro.backend import (
+    add_backend_argument,
+    add_num_workers_argument,
+    resolve_backend_name,
+)
 from repro.experiments.fig2_breakdown import render_fig2, run_fig2
 from repro.mesh.hexmesh import periodic_box_mesh
 from repro.physics.taylor_green import DEFAULT_TGV
@@ -30,6 +34,7 @@ def main() -> None:
     parser.add_argument("elements", nargs="?", type=int, default=5)
     parser.add_argument("steps", nargs="?", type=int, default=8)
     add_backend_argument(parser)
+    add_num_workers_argument(parser)
     args = parser.parse_args()
     elements, steps = args.elements, args.steps
     backend = resolve_backend_name(args.backend)
@@ -43,7 +48,9 @@ def main() -> None:
         f"{steps} steps, backend '{backend}') =="
     )
     mesh = periodic_box_mesh(elements, 2)
-    sim = Simulation(mesh, DEFAULT_TGV, backend=backend)
+    sim = Simulation(
+        mesh, DEFAULT_TGV, backend=backend, num_workers=args.num_workers
+    )
     sim.run(steps)
     print(sim.profiler.report())
 

@@ -8,7 +8,7 @@ same workload on the modeled FPGA accelerator and the Xeon baseline.
 Usage::
 
     python examples/quickstart.py [elements_per_direction] [steps] \
-        [--backend reference|fast]
+        [--backend reference|fast|threaded|procs] [--num-workers N]
 """
 
 from __future__ import annotations
@@ -17,7 +17,11 @@ import argparse
 
 from repro.accel.cosim import design_timing
 from repro.accel.designs import proposed_design
-from repro.backend import add_backend_argument, resolve_backend_name
+from repro.backend import (
+    add_backend_argument,
+    add_num_workers_argument,
+    resolve_backend_name,
+)
 from repro.cpu.xeon import cpu_step_time
 from repro.mesh.hexmesh import periodic_box_mesh
 from repro.physics.taylor_green import DEFAULT_TGV
@@ -29,6 +33,7 @@ def main() -> None:
     parser.add_argument("elements", nargs="?", type=int, default=4)
     parser.add_argument("steps", nargs="?", type=int, default=10)
     add_backend_argument(parser)
+    add_num_workers_argument(parser)
     args = parser.parse_args()
     elements, steps = args.elements, args.steps
     backend = resolve_backend_name(args.backend)
@@ -43,7 +48,9 @@ def main() -> None:
         f"Ma {DEFAULT_TGV.mach}, Re {DEFAULT_TGV.reynolds:.0f}"
     )
 
-    sim = Simulation(mesh, DEFAULT_TGV, backend=backend)
+    sim = Simulation(
+        mesh, DEFAULT_TGV, backend=backend, num_workers=args.num_workers
+    )
     result = sim.run(steps)
 
     print("\nstep   time       dt         E_k        max|u|")

@@ -10,7 +10,8 @@ correct physics.
 
 Usage::
 
-    python examples/taylor_green_validation.py [--backend reference|fast]
+    python examples/taylor_green_validation.py \
+        [--backend reference|fast|threaded|procs] [--num-workers N]
 """
 
 from __future__ import annotations
@@ -19,7 +20,11 @@ import argparse
 
 import numpy as np
 
-from repro.backend import add_backend_argument, resolve_backend_name
+from repro.backend import (
+    add_backend_argument,
+    add_num_workers_argument,
+    resolve_backend_name,
+)
 from repro.mesh.hexmesh import periodic_box_mesh
 from repro.physics.taylor_green import (
     TGVCase,
@@ -29,10 +34,20 @@ from repro.physics.taylor_green import (
 from repro.solver.simulation import Simulation
 
 
-def run_case(elements: int, case: TGVCase, steps: int, dt: float, backend=None):
+def run_case(
+    elements: int,
+    case: TGVCase,
+    steps: int,
+    dt: float,
+    backend=None,
+    num_workers=None,
+):
     mesh = periodic_box_mesh(elements, 2)
     init = taylor_green_2d_initial(mesh.coords, case)
-    sim = Simulation(mesh, case, initial_state=init, backend=backend)
+    sim = Simulation(
+        mesh, case, initial_state=init, backend=backend,
+        num_workers=num_workers,
+    )
     result = sim.run(steps, dt=dt)
     v_exact, _ = taylor_green_2d_exact(mesh.coords, sim.time, case)
     v_num = result.final_state.velocity()
@@ -44,6 +59,7 @@ def run_case(elements: int, case: TGVCase, steps: int, dt: float, backend=None):
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     add_backend_argument(parser)
+    add_num_workers_argument(parser)
     args = parser.parse_args()
     backend = resolve_backend_name(args.backend)
 
@@ -59,7 +75,10 @@ def main() -> None:
     prev_err = None
     prev_h = None
     for elements in (3, 4, 6, 8):
-        t_final, err, result = run_case(elements, case, steps, dt, backend=backend)
+        t_final, err, result = run_case(
+            elements, case, steps, dt, backend=backend,
+            num_workers=args.num_workers,
+        )
         h = 1.0 / elements
         order = (
             np.log(prev_err / err) / np.log(prev_h / h)

@@ -676,6 +676,7 @@ def cosimulate_small_mesh(
     block_size: int = 1,
     num_cus: int = 1,
     engine: str = "auto",
+    num_workers: int | None = None,
 ) -> CosimResult:
     """Run functional solve + payload-carrying cycle simulation on one mesh.
 
@@ -712,6 +713,9 @@ def cosimulate_small_mesh(
     engine:
         Simulation engine, forwarded to :func:`streamed_residual`
         (``"auto"`` resolves to the vectorized schedule engine).
+    num_workers:
+        Worker count when ``backend`` selects a parallel backend
+        (``"threaded"``/``"procs"``); ignored by serial backends.
 
     Returns
     -------
@@ -730,7 +734,10 @@ def cosimulate_small_mesh(
 
     if case is None:
         case = DEFAULT_TGV
-    sim = Simulation(mesh, case, backend=backend, initial_state=initial_state)
+    sim = Simulation(
+        mesh, case, backend=backend, initial_state=initial_state,
+        num_workers=num_workers,
+    )
     initial_stacked = sim.state.as_stacked()
     expected = sim.operator.residual(initial_stacked)
     streamed, trace = streamed_residual(
@@ -938,6 +945,7 @@ def cosimulate_rk_stage(
     tableau: ButcherTableau = RK4,
     num_steps: int = 1,
     engine: str = "auto",
+    num_workers: int | None = None,
 ) -> RKStepCosimResult:
     """Co-simulate one complete RK time step: RKL streamed into RKU.
 
@@ -1013,7 +1021,7 @@ def cosimulate_rk_stage(
         raise ExperimentError("num_steps must be >= 1")
     sim = Simulation(
         mesh, case, tableau=tableau, backend=backend,
-        initial_state=initial_state,
+        initial_state=initial_state, num_workers=num_workers,
     )
     operator = sim.operator
     y0 = sim.state.as_stacked()

@@ -97,7 +97,7 @@ class KernelBackend(abc.ABC):
     ) -> np.ndarray:
         """Physical gradients of stacked fields ``(F, E, Q)`` -> ``(F, E, Q, 3)``."""
         fields = np.asarray(fields)
-        out = np.empty(fields.shape + (3,))
+        out = np.empty(fields.shape + (3,), dtype=fields.dtype)
         for f_idx in range(fields.shape[0]):
             out[f_idx] = self.physical_gradient(fields[f_idx], geom, ref)
         return out
@@ -115,10 +115,17 @@ class KernelBackend(abc.ABC):
     ) -> np.ndarray:
         """Weak divergences of stacked fluxes ``(F, E, Q, 3)`` -> ``(F, E, Q)``."""
         fluxes = np.asarray(fluxes)
-        out = np.empty(fluxes.shape[:-1])
+        out = np.empty(fluxes.shape[:-1], dtype=fluxes.dtype)
         for f_idx in range(fluxes.shape[0]):
             out[f_idx] = self.weak_divergence(fluxes[f_idx], geom, ref)
         return out
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release any resources the backend holds (worker pools, shared
+        memory). A no-op for stateless backends; parallel backends
+        override it. Idempotent — callers may close unconditionally."""
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
         return f"<{type(self).__name__} name={self.name!r}>"

@@ -10,6 +10,7 @@ experiments, co-simulation — without further wiring.
 
 from __future__ import annotations
 
+import inspect
 import os
 from typing import Callable
 
@@ -18,6 +19,10 @@ from .base import KernelBackend
 
 #: Environment variable consulted when no backend name is given.
 BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: Environment variable consulted when no worker count is given
+#: (parallel backends only).
+WORKERS_ENV_VAR = "REPRO_NUM_WORKERS"
 
 #: The backend used when nothing selects one explicitly.
 DEFAULT_BACKEND = "reference"
@@ -65,6 +70,33 @@ def resolve_backend_name(name: str | None = None) -> str:
     return env.lower() if env else DEFAULT_BACKEND
 
 
+def resolve_num_workers(num_workers: int | None = None) -> int:
+    """The worker count a parallel backend will use.
+
+    Explicit ``num_workers`` wins; otherwise the ``REPRO_NUM_WORKERS``
+    environment variable; otherwise the machine's CPU count. The result
+    is always >= 1.
+    """
+    value = num_workers
+    if value is None:
+        env = os.environ.get(WORKERS_ENV_VAR, "").strip()
+        if env:
+            try:
+                value = int(env)
+            except ValueError:
+                raise ConfigurationError(
+                    f"{WORKERS_ENV_VAR} must be an integer, got {env!r}"
+                ) from None
+    if value is None:
+        return max(1, os.cpu_count() or 1)
+    value = int(value)
+    if value < 1:
+        raise ConfigurationError(
+            f"num_workers must be a positive integer, got {value}"
+        )
+    return value
+
+
 def add_backend_argument(parser) -> None:
     """Attach the standard ``--backend`` flag to an argparse parser.
 
@@ -83,12 +115,49 @@ def add_backend_argument(parser) -> None:
     )
 
 
-def get_backend(name: str | KernelBackend | None = None) -> KernelBackend:
+def add_num_workers_argument(parser) -> None:
+    """Attach the standard ``--num-workers`` flag to an argparse parser.
+
+    Companion of :func:`add_backend_argument` for the parallel backends:
+    ``None`` (the default) defers to ``REPRO_NUM_WORKERS`` and then the
+    CPU count, exactly like :func:`resolve_num_workers`.
+    """
+    parser.add_argument(
+        "--num-workers",
+        type=int,
+        default=None,
+        help=(
+            "worker count for parallel backends (threaded/procs); "
+            f"default: ${WORKERS_ENV_VAR} or the CPU count"
+        ),
+    )
+
+
+def _factory_accepts_num_workers(factory: Callable) -> bool:
+    try:
+        params = inspect.signature(factory).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtins
+        return False
+    if "num_workers" in params:
+        return True
+    return any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    )
+
+
+def get_backend(
+    name: str | KernelBackend | None = None,
+    *,
+    num_workers: int | None = None,
+) -> KernelBackend:
     """Instantiate the backend selected by ``name`` / env var / default.
 
     Accepts an already-constructed :class:`KernelBackend` and returns it
     unchanged, so call sites can take ``str | KernelBackend | None``
-    uniformly.
+    uniformly. ``num_workers`` is forwarded to factories that accept it
+    (the parallel backends) and silently ignored by those that do not
+    (``"reference"``, ``"fast"``), so one call signature serves every
+    backend.
     """
     if isinstance(name, KernelBackend):
         return name
@@ -102,7 +171,10 @@ def get_backend(name: str | KernelBackend | None = None) -> KernelBackend:
             f"{BACKEND_ENV_VAR} environment variable; add new ones with "
             "repro.backend.register_backend()."
         )
-    backend = factory()
+    if num_workers is not None and _factory_accepts_num_workers(factory):
+        backend = factory(num_workers=num_workers)
+    else:
+        backend = factory()
     if not isinstance(backend, KernelBackend):
         raise ConfigurationError(
             f"backend factory for {key!r} returned {type(backend).__name__}, "

@@ -125,6 +125,11 @@ class SolverConfig:
         Resolved lazily — validation of the *name* happens when a solver
         asks the registry for it, so configs can be built before custom
         backends register.
+    num_workers:
+        Worker count for the parallel backends (``"threaded"``,
+        ``"procs"``). ``None`` defers to the ``REPRO_NUM_WORKERS``
+        environment variable, then the machine's CPU count. Ignored by
+        serial backends.
     """
 
     polynomial_order: int = 2
@@ -134,6 +139,7 @@ class SolverConfig:
     gamma: float = 1.4
     gas_constant: float = 287.0
     backend: str | None = None
+    num_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.backend is not None and (
@@ -141,6 +147,12 @@ class SolverConfig:
         ):
             raise ConfigurationError(
                 "backend must be None or a non-empty backend name"
+            )
+        if self.num_workers is not None and (
+            not isinstance(self.num_workers, int) or self.num_workers < 1
+        ):
+            raise ConfigurationError(
+                "num_workers must be None or a positive integer"
             )
         if self.polynomial_order < 1:
             raise ConfigurationError("polynomial_order must be >= 1")

@@ -76,8 +76,13 @@ class NavierStokesOperator:
         One of :data:`FUSION_MODES`; overrides ``fused`` when given.
     backend:
         Compute backend for the hot kernels: a name (``"reference"``,
-        ``"fast"``), a :class:`~repro.backend.KernelBackend` instance, or
-        ``None`` for the environment/default selection.
+        ``"fast"``, ``"threaded"``, ``"procs"``), a
+        :class:`~repro.backend.KernelBackend` instance, or ``None`` for
+        the environment/default selection.
+    num_workers:
+        Worker count for the parallel backends; ``None`` defers to the
+        ``REPRO_NUM_WORKERS`` environment variable, then the CPU count.
+        Ignored by serial backends.
     """
 
     def __init__(
@@ -88,6 +93,7 @@ class NavierStokesOperator:
         fused: bool = False,
         fusion: str | None = None,
         backend: str | KernelBackend | None = None,
+        num_workers: int | None = None,
     ) -> None:
         self.mesh = mesh
         self.gas = gas
@@ -98,7 +104,7 @@ class NavierStokesOperator:
                 f"fusion must be one of {FUSION_MODES}, got {fusion!r}"
             )
         self.fusion = fusion
-        self.backend = get_backend(backend)
+        self.backend = get_backend(backend, num_workers=num_workers)
         self.profiler = profiler if profiler is not None else PhaseProfiler()
         self.ref = reference_hex(mesh.polynomial_order)
         self.geom = compute_geometry(mesh.corner_coords, self.ref)

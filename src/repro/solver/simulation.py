@@ -131,6 +131,7 @@ class Simulation:
         )
         kwargs.setdefault("cfl", solver.cfl)
         kwargs.setdefault("backend", solver.backend)
+        kwargs.setdefault("num_workers", solver.num_workers)
         return cls(mesh, case, **kwargs)
 
     def __init__(
@@ -144,6 +145,7 @@ class Simulation:
         cfl: float = 0.5,
         fusion: str | None = None,
         backend=None,
+        num_workers: int | None = None,
     ) -> None:
         self.case = case
         self.gas = case.gas()
@@ -158,6 +160,7 @@ class Simulation:
                 fused=fused_operator,
                 fusion=fusion,
                 backend=backend,
+                num_workers=num_workers,
             )
             if initial_state is None:
                 initial_state = taylor_green_initial(mesh.coords, case)

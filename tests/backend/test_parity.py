@@ -1,25 +1,46 @@
-"""Backend parity: ``"fast"`` must match ``"reference"`` everywhere.
+"""Backend parity: every registered backend must match ``"reference"``.
 
 Property-style sweep over polynomial orders p in {3, 5, 7} (odd orders,
 distinct from the order-2 default used elsewhere in the suite), affine
-and non-affine geometries, every hot kernel, and a full TGV RHS
-evaluation. Tolerance is 1e-10 *relative* — far tighter than any
-physical tolerance, so any re-ordering bug (not just a wrong formula)
-is caught.
+and non-affine geometries, every hot kernel, a full TGV RHS evaluation,
+and a wall-bounded channel-flow RHS. The sweep covers **all registered
+backends** — ``"fast"`` at 1e-10 relative, and the parallel backends
+(``"threaded"``, ``"procs"``) at 1e-12 with bitwise run-to-run
+determinism, the guarantee their fixed-shard-order reduction makes.
 """
 
 import numpy as np
 import pytest
 
-from repro.backend import get_backend
+from repro.backend import available_backends, get_backend
 from repro.fem.geometry import compute_geometry
 from repro.fem.reference import reference_hex
-from repro.mesh.hexmesh import periodic_box_mesh
-from repro.physics.taylor_green import DEFAULT_TGV, taylor_green_initial
+from repro.mesh.hexmesh import channel_mesh, periodic_box_mesh
+from repro.physics.channel import decaying_shear_initial
+from repro.physics.taylor_green import DEFAULT_TGV, TGVCase, taylor_green_initial
 from repro.solver.navier_stokes import NavierStokesOperator
 
 ORDERS = (3, 5, 7)
 RTOL = 1e-10
+#: The parallel backends promise a tighter bound: they run the same
+#: ``"fast"`` kernels per shard and reduce partials in fixed order.
+PARALLEL_TOL = 1e-12
+PARALLEL_BACKENDS = ("threaded", "procs")
+#: Every backend checked against the oracle.
+CANDIDATE_BACKENDS = tuple(
+    name for name in available_backends() if name != "reference"
+)
+
+
+def make_backend(name: str):
+    if name in PARALLEL_BACKENDS:
+        # Two workers guarantee the sharded code path on every mesh here.
+        return get_backend(name, num_workers=2)
+    return get_backend(name)
+
+
+def tol_for(name: str) -> float:
+    return PARALLEL_TOL if name in PARALLEL_BACKENDS else RTOL
 
 
 def rel_err(a: np.ndarray, b: np.ndarray) -> float:
@@ -29,9 +50,14 @@ def rel_err(a: np.ndarray, b: np.ndarray) -> float:
     return float(np.abs(a - b).max() / scale)
 
 
+def test_all_builtin_backends_are_registered():
+    for name in ("reference", "fast") + PARALLEL_BACKENDS:
+        assert name in available_backends()
+
+
 @pytest.fixture(scope="module", params=ORDERS)
 def setup(request):
-    """Mesh, reference element, affine + curved geometry, both backends."""
+    """Mesh, reference element, affine + curved geometry, rng."""
     p = request.param
     mesh = periodic_box_mesh(2, p)
     ref = reference_hex(p)
@@ -52,101 +78,142 @@ def setup(request):
 
 @pytest.fixture(scope="module")
 def backends():
-    return get_backend("reference"), get_backend("fast")
+    """The oracle plus one instance of every candidate backend.
+
+    Module-scoped on purpose: the parallel backends keep one pool alive
+    across the whole sweep, so the suite also exercises worker reuse
+    across many calls and meshes.
+    """
+    oracle = get_backend("reference")
+    candidates = {name: make_backend(name) for name in CANDIDATE_BACKENDS}
+    yield oracle, candidates
+    for backend in candidates.values():
+        backend.close()
 
 
 class TestKernelParity:
     def test_gather(self, setup, backends):
         mesh, _ref, _affine, _curved, rng = setup
-        ref_b, fast_b = backends
+        oracle, candidates = backends
         for shape in [(mesh.num_nodes,), (5, mesh.num_nodes)]:
             field = rng.standard_normal(shape)
-            a = ref_b.gather(field, mesh.connectivity)
-            b = fast_b.gather(field, mesh.connectivity)
-            assert np.array_equal(a, b)
+            a = oracle.gather(field, mesh.connectivity)
+            for name, backend in candidates.items():
+                b = backend.gather(field, mesh.connectivity)
+                assert np.array_equal(a, b), name
 
     def test_scatter_add(self, setup, backends):
         mesh, ref, _affine, _curved, rng = setup
-        ref_b, fast_b = backends
+        oracle, candidates = backends
         values = rng.standard_normal((mesh.num_elements, ref.num_nodes))
-        a = ref_b.scatter_add(values, mesh.connectivity, mesh.num_nodes)
-        b = fast_b.scatter_add(values, mesh.connectivity, mesh.num_nodes)
-        assert rel_err(a, b) <= RTOL
+        a = oracle.scatter_add(values, mesh.connectivity, mesh.num_nodes)
+        for name, backend in candidates.items():
+            b = backend.scatter_add(values, mesh.connectivity, mesh.num_nodes)
+            assert rel_err(a, b) <= tol_for(name), name
 
     def test_scatter_add_many(self, setup, backends):
         mesh, ref, _affine, _curved, rng = setup
-        ref_b, fast_b = backends
+        oracle, candidates = backends
         values = rng.standard_normal((5, mesh.num_elements, ref.num_nodes))
-        a = ref_b.scatter_add_many(values, mesh.connectivity, mesh.num_nodes)
-        b = fast_b.scatter_add_many(values, mesh.connectivity, mesh.num_nodes)
-        assert rel_err(a, b) <= RTOL
+        a = oracle.scatter_add_many(values, mesh.connectivity, mesh.num_nodes)
+        for name, backend in candidates.items():
+            b = backend.scatter_add_many(
+                values, mesh.connectivity, mesh.num_nodes
+            )
+            assert rel_err(a, b) <= tol_for(name), name
 
     def test_reference_gradient(self, setup, backends):
         mesh, ref, _affine, _curved, rng = setup
-        ref_b, fast_b = backends
+        oracle, candidates = backends
         field = rng.standard_normal((mesh.num_elements, ref.num_nodes))
-        a = ref_b.reference_gradient(field, ref)
-        b = fast_b.reference_gradient(field, ref)
-        assert rel_err(a, b) <= RTOL
+        a = oracle.reference_gradient(field, ref)
+        for name, backend in candidates.items():
+            b = backend.reference_gradient(field, ref)
+            assert rel_err(a, b) <= tol_for(name), name
 
     @pytest.mark.parametrize("geometry", ["affine", "curved"])
     def test_physical_gradient(self, setup, backends, geometry):
         mesh, ref, affine, curved, rng = setup
         geom = affine if geometry == "affine" else curved
-        ref_b, fast_b = backends
+        oracle, candidates = backends
         field = rng.standard_normal((mesh.num_elements, ref.num_nodes))
-        a = ref_b.physical_gradient(field, geom, ref)
-        b = fast_b.physical_gradient(field, geom, ref)
-        assert rel_err(a, b) <= RTOL
+        a = oracle.physical_gradient(field, geom, ref)
+        for name, backend in candidates.items():
+            b = backend.physical_gradient(field, geom, ref)
+            assert rel_err(a, b) <= tol_for(name), name
 
     @pytest.mark.parametrize("geometry", ["affine", "curved"])
     def test_physical_gradient_many(self, setup, backends, geometry):
         mesh, ref, affine, curved, rng = setup
         geom = affine if geometry == "affine" else curved
-        ref_b, fast_b = backends
+        oracle, candidates = backends
         fields = rng.standard_normal((4, mesh.num_elements, ref.num_nodes))
-        a = ref_b.physical_gradient_many(fields, geom, ref)
-        b = fast_b.physical_gradient_many(fields, geom, ref)
-        assert rel_err(a, b) <= RTOL
+        a = oracle.physical_gradient_many(fields, geom, ref)
+        for name, backend in candidates.items():
+            b = backend.physical_gradient_many(fields, geom, ref)
+            assert rel_err(a, b) <= tol_for(name), name
 
     @pytest.mark.parametrize("geometry", ["affine", "curved"])
     def test_weak_divergence(self, setup, backends, geometry):
         mesh, ref, affine, curved, rng = setup
         geom = affine if geometry == "affine" else curved
-        ref_b, fast_b = backends
+        oracle, candidates = backends
         flux = rng.standard_normal((mesh.num_elements, ref.num_nodes, 3))
-        a = ref_b.weak_divergence(flux, geom, ref)
-        b = fast_b.weak_divergence(flux, geom, ref)
-        assert rel_err(a, b) <= RTOL
+        a = oracle.weak_divergence(flux, geom, ref)
+        for name, backend in candidates.items():
+            b = backend.weak_divergence(flux, geom, ref)
+            assert rel_err(a, b) <= tol_for(name), name
 
     @pytest.mark.parametrize("geometry", ["affine", "curved"])
     def test_weak_divergence_many(self, setup, backends, geometry):
         mesh, ref, affine, curved, rng = setup
         geom = affine if geometry == "affine" else curved
-        ref_b, fast_b = backends
+        oracle, candidates = backends
         fluxes = rng.standard_normal((5, mesh.num_elements, ref.num_nodes, 3))
-        a = ref_b.weak_divergence_many(fluxes, geom, ref)
-        b = fast_b.weak_divergence_many(fluxes, geom, ref)
-        assert rel_err(a, b) <= RTOL
+        a = oracle.weak_divergence_many(fluxes, geom, ref)
+        for name, backend in candidates.items():
+            b = backend.weak_divergence_many(fluxes, geom, ref)
+            assert rel_err(a, b) <= tol_for(name), name
+
+    def test_kernels_bitwise_deterministic(self, setup, backends):
+        """Parallel backends must return bit-identical results on repeat
+        calls — fixed shard boundaries, fixed reduction order."""
+        mesh, ref, _affine, curved, rng = setup
+        _oracle, candidates = backends
+        values = rng.standard_normal((5, mesh.num_elements, ref.num_nodes))
+        fluxes = rng.standard_normal((5, mesh.num_elements, ref.num_nodes, 3))
+        for name in PARALLEL_BACKENDS:
+            backend = candidates[name]
+            s1 = backend.scatter_add_many(
+                values, mesh.connectivity, mesh.num_nodes
+            )
+            s2 = backend.scatter_add_many(
+                values, mesh.connectivity, mesh.num_nodes
+            )
+            assert np.array_equal(s1, s2), name
+            d1 = backend.weak_divergence_many(fluxes, curved, ref)
+            d2 = backend.weak_divergence_many(fluxes, curved, ref)
+            assert np.array_equal(d1, d2), name
 
     def test_workspace_reuse_does_not_leak_between_calls(self, setup, backends):
-        """Two different inputs through the same fast backend instance must
+        """Two different inputs through the same backend instance must
         not contaminate each other via the reused workspaces."""
         mesh, ref, affine, _curved, rng = setup
-        _ref_b, fast_b = backends
+        _oracle, candidates = backends
         f1 = rng.standard_normal((mesh.num_elements, ref.num_nodes, 3))
         f2 = rng.standard_normal((mesh.num_elements, ref.num_nodes, 3))
-        first = fast_b.weak_divergence(f1, affine, ref).copy()
-        fast_b.weak_divergence(f2, affine, ref)
-        again = fast_b.weak_divergence(f1, affine, ref)
-        assert np.array_equal(first, again)
+        for name, backend in candidates.items():
+            first = backend.weak_divergence(f1, affine, ref).copy()
+            backend.weak_divergence(f2, affine, ref)
+            again = backend.weak_divergence(f1, affine, ref)
+            assert np.array_equal(first, again), name
 
 
 class TestFullRHSParity:
     @pytest.mark.parametrize("order", ORDERS)
     def test_tgv_rhs_matches_reference(self, order):
-        """Full TGV right-hand side: fast (split and fully fused) vs the
-        reference oracle, within 1e-10 relative."""
+        """Full TGV right-hand side: every backend (and the fast fusion
+        modes) vs the reference oracle."""
         mesh = periodic_box_mesh(2, order)
         gas = DEFAULT_TGV.gas()
         stacked = taylor_green_initial(mesh.coords, DEFAULT_TGV).as_stacked()
@@ -156,10 +223,45 @@ class TestFullRHSParity:
             {"backend": "fast"},
             {"backend": "fast", "fusion": "gather"},
             {"backend": "fast", "fusion": "full"},
+            {"backend": "threaded", "num_workers": 2},
+            {"backend": "procs", "num_workers": 2},
         ):
             op = NavierStokesOperator(mesh, gas, **kwargs)
             got = op.residual(stacked)
-            assert rel_err(expected, got) <= RTOL, kwargs
+            assert rel_err(expected, got) <= tol_for(kwargs["backend"]), kwargs
+            op.backend.close()
+
+    @pytest.mark.parametrize("name", PARALLEL_BACKENDS)
+    def test_tgv_rhs_bitwise_deterministic(self, name):
+        """Two independent parallel-backend instances produce the exact
+        same full-RHS bits."""
+        mesh = periodic_box_mesh(2, 5)
+        gas = DEFAULT_TGV.gas()
+        stacked = taylor_green_initial(mesh.coords, DEFAULT_TGV).as_stacked()
+        op1 = NavierStokesOperator(mesh, gas, backend=name, num_workers=2)
+        op2 = NavierStokesOperator(mesh, gas, backend=name, num_workers=2)
+        r1 = op1.residual(stacked)
+        r2 = op1.residual(stacked)
+        r3 = op2.residual(stacked)
+        assert np.array_equal(r1, r2)
+        assert np.array_equal(r1, r3)
+        op1.backend.close()
+        op2.backend.close()
+
+    @pytest.mark.parametrize("name", CANDIDATE_BACKENDS)
+    def test_channel_rhs_matches_reference(self, name):
+        """Wall-bounded channel shear flow RHS (non-periodic mesh, wall
+        residual zeroing) agrees across backends."""
+        case = TGVCase(mach=0.05, reynolds=100.0)
+        mesh = channel_mesh(2, polynomial_order=3)
+        gas = case.gas()
+        stacked = decaying_shear_initial(mesh.coords, case).as_stacked()
+        oracle = NavierStokesOperator(mesh, gas, backend="reference")
+        expected = oracle.residual(stacked)
+        op = NavierStokesOperator(mesh, gas, backend=name, num_workers=2)
+        got = op.residual(stacked)
+        assert rel_err(expected, got) <= tol_for(name)
+        op.backend.close()
 
     def test_fused_full_matches_split_over_steps(self):
         """Time integration with the fused fast operator tracks the
@@ -176,17 +278,33 @@ class TestFullRHSParity:
         assert rel_err(a, b) <= 1e-9
         assert fast_sim.backend_name == "fast"
 
+    @pytest.mark.parametrize("name", PARALLEL_BACKENDS)
+    def test_parallel_simulation_matches_reference(self, name):
+        """Multi-step time integration through a parallel backend tracks
+        the reference run."""
+        from repro.solver.simulation import Simulation
+
+        mesh = periodic_box_mesh(2, 3)
+        ref_sim = Simulation(mesh, DEFAULT_TGV, backend="reference")
+        par_sim = Simulation(mesh, DEFAULT_TGV, backend=name, num_workers=2)
+        a = ref_sim.run(3).final_state.as_stacked()
+        b = par_sim.run(3).final_state.as_stacked()
+        assert rel_err(a, b) <= 1e-9
+        assert par_sim.backend_name == name
+        par_sim.operator.backend.close()
+
 
 class TestDtypePreservation:
     def test_scatter_add_preserves_float32(self, setup, backends):
         """Regression: scatter_add used to silently upcast float32 inputs
         to float64. It must accumulate in float64 but hand back the input
-        dtype."""
+        dtype — on every backend, including the sharded reductions."""
         mesh, ref, _affine, _curved, rng = setup
+        oracle, candidates = backends
         values32 = rng.standard_normal(
             (mesh.num_elements, ref.num_nodes)
         ).astype(np.float32)
-        for backend in backends:
+        for backend in [oracle, *candidates.values()]:
             out = backend.scatter_add(values32, mesh.connectivity, mesh.num_nodes)
             assert out.dtype == np.float32
             many = backend.scatter_add_many(
@@ -200,7 +318,45 @@ class TestDtypePreservation:
         conn = np.zeros((1, 4), dtype=np.int64)  # all four values hit node 0
         values = np.array([[1.0, 2**-24, 2**-24, 2**-24]], dtype=np.float32)
         expected = np.float32(np.float64(1.0) + 3 * np.float64(2**-24))
-        for backend in backends:
+        oracle, candidates = backends
+        for backend in [oracle, *candidates.values()]:
             out = backend.scatter_add(values, conn, 1)
             assert out.dtype == np.float32
             assert out[0] == expected
+
+    def test_batched_defaults_preserve_float32(self, setup):
+        """Regression: the KernelBackend ``*_many`` defaults allocated
+        implicit-float64 outputs, silently upcasting float32 inputs even
+        when the per-field primitive preserved the dtype."""
+        from repro.backend import KernelBackend
+
+        class DtypeFaithful(KernelBackend):
+            """Primitives that keep the input dtype; *_many inherited."""
+
+            name = "dtype-faithful"
+
+            def gather(self, global_field, connectivity):
+                return np.take(global_field, connectivity, axis=-1)
+
+            def scatter_add(self, element_values, connectivity, num_nodes):
+                raise NotImplementedError
+
+            def reference_gradient(self, field, ref):
+                raise NotImplementedError
+
+            def physical_gradient(self, field, geom, ref):
+                return np.stack([field, field, field], axis=-1)
+
+            def weak_divergence(self, flux, geom, ref):
+                return flux.sum(axis=-1)
+
+        mesh, ref, affine, _curved, rng = setup
+        backend = DtypeFaithful()
+        fields = rng.standard_normal(
+            (2, mesh.num_elements, ref.num_nodes)
+        ).astype(np.float32)
+        fluxes = rng.standard_normal(
+            (2, mesh.num_elements, ref.num_nodes, 3)
+        ).astype(np.float32)
+        assert backend.physical_gradient_many(fields, affine, ref).dtype == np.float32
+        assert backend.weak_divergence_many(fluxes, affine, ref).dtype == np.float32

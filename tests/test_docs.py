@@ -79,6 +79,29 @@ def test_architecture_documents_the_dse_engine():
         assert needle in text, f"ARCHITECTURE.md lost its {needle!r} coverage"
 
 
+def test_architecture_documents_the_parallel_backends():
+    text = (REPO_ROOT / "ARCHITECTURE.md").read_text()
+    for needle in (
+        "Parallel kernel backends",
+        "element_shards",
+        "fixed shard order",
+        "REPRO_NUM_WORKERS",
+        "shared_memory",
+        "run_campaign(workers=N)",
+    ):
+        assert needle in text, f"ARCHITECTURE.md lost its {needle!r} coverage"
+
+
+def test_readme_documents_environment_variables():
+    """The env-var table must cover both backend-selection knobs."""
+    text = (REPO_ROOT / "README.md").read_text()
+    assert "## Environment variables" in text, (
+        "README.md lost its environment-variable table"
+    )
+    for needle in ("REPRO_BACKEND", "REPRO_NUM_WORKERS"):
+        assert needle in text, f"README.md env-var table lost {needle!r}"
+
+
 def test_architecture_documents_the_cosim_extension():
     text = (REPO_ROOT / "ARCHITECTURE.md").read_text()
     for needle in (

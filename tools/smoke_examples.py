@@ -36,15 +36,20 @@ EXAMPLES_DIR = REPO_ROOT / "examples"
 
 #: Smoke-mode argv per example (small meshes, few steps).
 SMOKE_ARGS: dict[str, list[str]] = {
-    "quickstart.py": ["2", "3"],
+    "quickstart.py": ["2", "3", "--backend", "procs", "--num-workers", "2"],
     "taylor_green_validation.py": [],
-    "channel_flow.py": ["2", "4"],
-    "profile_breakdown.py": ["3", "2"],
+    "channel_flow.py": [
+        "2", "4", "--backend", "threaded", "--num-workers", "2",
+    ],
+    "profile_breakdown.py": [
+        "3", "2", "--backend", "threaded", "--num-workers", "2",
+    ],
     "accelerator_dse.py": [],
     "scaling_study.py": [],
     "functional_cosim.py": [
         "2", "3", "--block-size", "4", "--num-cus", "2", "--full-step",
         "--num-steps", "2", "--engine", "vectorized",
+        "--backend", "threaded", "--num-workers", "2",
     ],
     "dse_campaign.py": [
         "--orders", "2", "--meshes", "2,3", "--blocks", "1,2",
@@ -115,8 +120,8 @@ def example_declared_flags(script: Path) -> set[str]:
     """Every ``--flag`` an example's argparser actually accepts.
 
     Static AST walk over ``add_argument`` calls (no execution), plus
-    the shared ``add_backend_argument`` helper, which contributes
-    ``--backend``.
+    the shared ``add_backend_argument`` / ``add_num_workers_argument``
+    helpers, which contribute ``--backend`` / ``--num-workers``.
     """
     flags: set[str] = set()
     for node in ast.walk(ast.parse(script.read_text())):
@@ -136,6 +141,8 @@ def example_declared_flags(script: Path) -> set[str]:
                     flags.add(arg.value)
         elif name == "add_backend_argument":
             flags.add("--backend")
+        elif name == "add_num_workers_argument":
+            flags.add("--num-workers")
     return flags
 
 
