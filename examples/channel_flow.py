@@ -11,7 +11,8 @@ rare wall-bounded case with a closed-form Navier-Stokes solution).
 Usage::
 
     python examples/channel_flow.py [elements_per_direction] [steps] \
-        [--backend reference|fast|threaded|procs] [--num-workers N]
+        [--backend reference|fast|threaded|procs] [--num-workers N] \
+        [--dtype float64|float32|mixed]
 """
 
 from __future__ import annotations
@@ -26,6 +27,7 @@ from repro.backend import (
     resolve_backend_name,
 )
 from repro.mesh import channel_mesh
+from repro.precision import add_dtype_argument, resolve_dtype
 from repro.physics.channel import (
     decaying_shear_exact,
     decaying_shear_initial,
@@ -41,22 +43,25 @@ def main() -> None:
     parser.add_argument("steps", nargs="?", type=int, default=40)
     add_backend_argument(parser)
     add_num_workers_argument(parser)
+    add_dtype_argument(parser)
     args = parser.parse_args()
     elements, steps = args.elements, args.steps
     backend = resolve_backend_name(args.backend)
+    dtype = resolve_dtype(args.dtype)
 
     case = TGVCase(mach=0.05, reynolds=100.0)
     mesh = channel_mesh(elements, polynomial_order=2)
     print(
         f"== channel flow: {elements}^3 elements, periodic x/y, "
-        f"no-slip isothermal walls in z, backend '{backend}' =="
+        f"no-slip isothermal walls in z, backend '{backend}', "
+        f"dtype '{dtype}' =="
     )
     print(f"mesh: {mesh.num_nodes} nodes, periodic axes {mesh.periodic_axes}")
 
     init = decaying_shear_initial(mesh.coords, case)
     sim = Simulation(
         mesh, case, initial_state=init, cfl=0.4, backend=backend,
-        num_workers=args.num_workers,
+        num_workers=args.num_workers, dtype=dtype,
     )
     print(f"wall nodes strongly enforced: {sim.operator.wall_nodes.size}")
 

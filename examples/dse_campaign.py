@@ -19,6 +19,7 @@ Usage::
     python examples/dse_campaign.py [--orders 2,3] [--meshes 2,3] \
         [--blocks 1,2,4] [--cus 1,2,4] [--devices u200,hbm] \
         [--fusions none,gather,full] [--partitions balanced,contiguous] \
+        [--precisions float64,float32,mixed] \
         [--tier closed-form|exact|cosim] [--workers N] \
         [--cache-dir DIR] [--json FILE]
 """
@@ -85,6 +86,13 @@ def main() -> None:
         help="comma-separated element-partition strategies",
     )
     parser.add_argument(
+        "--precisions",
+        type=_str_list,
+        default=("float64",),
+        help="comma-separated precision modes (float64, float32, mixed); "
+        "moves only the cosim tier's recorded state error",
+    )
+    parser.add_argument(
         "--tier",
         choices=("closed-form", "exact", "cosim"),
         default="cosim",
@@ -119,6 +127,7 @@ def main() -> None:
             ("device", args.devices),
             ("fusion", args.fusions),
             ("partition", args.partitions),
+            ("precision", args.precisions),
         ),
     )
     cache = ResultCache(args.cache_dir)

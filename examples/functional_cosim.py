@@ -33,7 +33,7 @@ Usage::
         [--backend reference|fast|threaded|procs] [--num-workers W] \
         [--case tgv|channel] \
         [--block-size B] [--num-cus N] [--full-step] [--num-steps K] \
-        [--engine event|vectorized|auto]
+        [--engine event|vectorized|auto] [--dtype float64|float32|mixed]
 """
 
 from __future__ import annotations
@@ -49,6 +49,7 @@ from repro.backend import (
 )
 from repro.mesh.hexmesh import channel_mesh, periodic_box_mesh
 from repro.pipeline import navier_stokes_pipeline
+from repro.precision import add_dtype_argument, resolve_dtype
 
 
 def main() -> None:
@@ -95,8 +96,10 @@ def main() -> None:
     )
     add_backend_argument(parser)
     add_num_workers_argument(parser)
+    add_dtype_argument(parser)
     args = parser.parse_args()
     backend = resolve_backend_name(args.backend)
+    dtype = resolve_dtype(args.dtype)
 
     print("== the operator pipeline IR and its fusion rewrites ==")
     for fusion in ("none", "gather", "full"):
@@ -119,7 +122,7 @@ def main() -> None:
         f"== co-simulating {args.case} on {mesh.num_elements} elements "
         f"({mesh.num_nodes} nodes, p={args.order}), backend '{backend}', "
         f"block size {args.block_size}, {args.num_cus} CU(s), "
-        f"engine '{args.engine}' =="
+        f"engine '{args.engine}', dtype '{dtype}' =="
     )
     result = cosimulate_small_mesh(
         design,
@@ -132,6 +135,7 @@ def main() -> None:
         num_cus=args.num_cus,
         engine=args.engine,
         num_workers=args.num_workers,
+        dtype=dtype,
     )
     print(result.trace.report())
     print()
@@ -184,6 +188,7 @@ def main() -> None:
             num_steps=args.num_steps,
             engine=args.engine,
             num_workers=args.num_workers,
+            dtype=dtype,
         )
         print(
             f"streamed {step.num_steps} step(s) vs Simulation.step: "

@@ -11,7 +11,8 @@
 Usage::
 
     python examples/profile_breakdown.py [elements_per_direction] [steps] \
-        [--backend reference|fast|threaded|procs] [--num-workers N]
+        [--backend reference|fast|threaded|procs] [--num-workers N] \
+        [--dtype float64|float32|mixed]
 """
 
 from __future__ import annotations
@@ -25,6 +26,7 @@ from repro.backend import (
 )
 from repro.experiments.fig2_breakdown import render_fig2, run_fig2
 from repro.mesh.hexmesh import periodic_box_mesh
+from repro.precision import add_dtype_argument, resolve_dtype
 from repro.physics.taylor_green import DEFAULT_TGV
 from repro.solver.simulation import Simulation
 
@@ -35,9 +37,11 @@ def main() -> None:
     parser.add_argument("steps", nargs="?", type=int, default=8)
     add_backend_argument(parser)
     add_num_workers_argument(parser)
+    add_dtype_argument(parser)
     args = parser.parse_args()
     elements, steps = args.elements, args.steps
     backend = resolve_backend_name(args.backend)
+    dtype = resolve_dtype(args.dtype)
 
     print("== model-level breakdown (paper mesh sizes, Xeon roofline) ==")
     print(render_fig2(run_fig2()))
@@ -45,11 +49,12 @@ def main() -> None:
     print()
     print(
         f"== measured breakdown (numpy solver, {elements}^3 elements, "
-        f"{steps} steps, backend '{backend}') =="
+        f"{steps} steps, backend '{backend}', dtype '{dtype}') =="
     )
     mesh = periodic_box_mesh(elements, 2)
     sim = Simulation(
-        mesh, DEFAULT_TGV, backend=backend, num_workers=args.num_workers
+        mesh, DEFAULT_TGV, backend=backend, num_workers=args.num_workers,
+        dtype=dtype,
     )
     sim.run(steps)
     print(sim.profiler.report())

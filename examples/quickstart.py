@@ -8,7 +8,8 @@ same workload on the modeled FPGA accelerator and the Xeon baseline.
 Usage::
 
     python examples/quickstart.py [elements_per_direction] [steps] \
-        [--backend reference|fast|threaded|procs] [--num-workers N]
+        [--backend reference|fast|threaded|procs] [--num-workers N] \
+        [--dtype float64|float32|mixed]
 """
 
 from __future__ import annotations
@@ -22,6 +23,7 @@ from repro.backend import (
     add_num_workers_argument,
     resolve_backend_name,
 )
+from repro.precision import add_dtype_argument, resolve_dtype
 from repro.cpu.xeon import cpu_step_time
 from repro.mesh.hexmesh import periodic_box_mesh
 from repro.physics.taylor_green import DEFAULT_TGV
@@ -34,13 +36,15 @@ def main() -> None:
     parser.add_argument("steps", nargs="?", type=int, default=10)
     add_backend_argument(parser)
     add_num_workers_argument(parser)
+    add_dtype_argument(parser)
     args = parser.parse_args()
     elements, steps = args.elements, args.steps
     backend = resolve_backend_name(args.backend)
+    dtype = resolve_dtype(args.dtype)
 
     print(
         f"== TGV quickstart: {elements}^3 elements, {steps} RK4 steps, "
-        f"backend '{backend}' =="
+        f"backend '{backend}', dtype '{dtype}' =="
     )
     mesh = periodic_box_mesh(elements, polynomial_order=2)
     print(
@@ -49,7 +53,8 @@ def main() -> None:
     )
 
     sim = Simulation(
-        mesh, DEFAULT_TGV, backend=backend, num_workers=args.num_workers
+        mesh, DEFAULT_TGV, backend=backend, num_workers=args.num_workers,
+        dtype=dtype,
     )
     result = sim.run(steps)
 

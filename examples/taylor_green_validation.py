@@ -11,7 +11,8 @@ correct physics.
 Usage::
 
     python examples/taylor_green_validation.py \
-        [--backend reference|fast|threaded|procs] [--num-workers N]
+        [--backend reference|fast|threaded|procs] [--num-workers N] \
+        [--dtype float64|float32|mixed]
 """
 
 from __future__ import annotations
@@ -26,6 +27,7 @@ from repro.backend import (
     resolve_backend_name,
 )
 from repro.mesh.hexmesh import periodic_box_mesh
+from repro.precision import add_dtype_argument, resolve_dtype
 from repro.physics.taylor_green import (
     TGVCase,
     taylor_green_2d_exact,
@@ -41,12 +43,13 @@ def run_case(
     dt: float,
     backend=None,
     num_workers=None,
+    dtype=None,
 ):
     mesh = periodic_box_mesh(elements, 2)
     init = taylor_green_2d_initial(mesh.coords, case)
     sim = Simulation(
         mesh, case, initial_state=init, backend=backend,
-        num_workers=num_workers,
+        num_workers=num_workers, dtype=dtype,
     )
     result = sim.run(steps, dt=dt)
     v_exact, _ = taylor_green_2d_exact(mesh.coords, sim.time, case)
@@ -60,8 +63,10 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     add_backend_argument(parser)
     add_num_workers_argument(parser)
+    add_dtype_argument(parser)
     args = parser.parse_args()
     backend = resolve_backend_name(args.backend)
+    dtype = resolve_dtype(args.dtype)
 
     case = TGVCase(mach=0.05, reynolds=100.0)
     nu = case.viscosity / case.rho0
@@ -69,7 +74,7 @@ def main() -> None:
 
     print(
         f"== 2D Taylor-Green validation (Ma 0.05, Re 100), "
-        f"backend '{backend}' =="
+        f"backend '{backend}', dtype '{dtype}' =="
     )
     print(f"{'elems/dir':>10} {'nodes':>8} {'rel. RMS error':>16} {'order':>7}")
     prev_err = None
@@ -77,7 +82,7 @@ def main() -> None:
     for elements in (3, 4, 6, 8):
         t_final, err, result = run_case(
             elements, case, steps, dt, backend=backend,
-            num_workers=args.num_workers,
+            num_workers=args.num_workers, dtype=dtype,
         )
         h = 1.0 / elements
         order = (

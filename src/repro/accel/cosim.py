@@ -596,8 +596,16 @@ def streamed_residual(
 
     ctx = PipelineContext.from_operator(operator)
     nodes_per_cu = nodes_per_compute_unit(num_nodes, num_cus)
+    # Stream the state in the operator's storage dtype and assemble in
+    # its accumulation dtype — the same precision policy the functional
+    # residual's backend applies, so the two paths stay comparable in
+    # every dtype mode.
+    precision = operator.precision
+    stacked = np.asarray(stacked, dtype=precision.storage)
+    acc_dtype = precision.accumulate_for(stacked.dtype)
     accumulators = [
-        np.zeros((NUM_CONSERVED, num_nodes)) for _ in partitions
+        np.zeros((NUM_CONSERVED, num_nodes), dtype=acc_dtype)
+        for _ in partitions
     ]
     subgraphs: list[DataflowGraph] = []
     iterations: dict[str, int] = {}
@@ -631,10 +639,14 @@ def streamed_residual(
             f"rkl-{design.options.name}-{num_cus}cu", subgraphs
         )
     trace = DataflowSimulator(graph).run(iterations, engine=engine)
-    # Reduce the per-CU partial residuals before finalization.
+    # Reduce the per-CU partial residuals before finalization, rounding
+    # to the storage dtype exactly once (the mixed-mode semantics of the
+    # backends' scatter-add).
     total = accumulators[0]
     for accumulator in accumulators[1:]:
         total = total + accumulator
+    if total.dtype != stacked.dtype:
+        total = total.astype(stacked.dtype)
     return operator.finalize_residual(total), trace
 
 
@@ -677,6 +689,7 @@ def cosimulate_small_mesh(
     num_cus: int = 1,
     engine: str = "auto",
     num_workers: int | None = None,
+    dtype: str | None = None,
 ) -> CosimResult:
     """Run functional solve + payload-carrying cycle simulation on one mesh.
 
@@ -716,6 +729,10 @@ def cosimulate_small_mesh(
     num_workers:
         Worker count when ``backend`` selects a parallel backend
         (``"threaded"``/``"procs"``); ignored by serial backends.
+    dtype:
+        Precision mode for both paths (``"float64"``, ``"float32"``,
+        ``"mixed"``; ``None`` defers to ``REPRO_DTYPE``). Functional
+        solve and streamed residual run under the same policy.
 
     Returns
     -------
@@ -736,7 +753,7 @@ def cosimulate_small_mesh(
         case = DEFAULT_TGV
     sim = Simulation(
         mesh, case, backend=backend, initial_state=initial_state,
-        num_workers=num_workers,
+        num_workers=num_workers, dtype=dtype,
     )
     initial_stacked = sim.state.as_stacked()
     expected = sim.operator.residual(initial_stacked)
@@ -946,6 +963,7 @@ def cosimulate_rk_stage(
     num_steps: int = 1,
     engine: str = "auto",
     num_workers: int | None = None,
+    dtype: str | None = None,
 ) -> RKStepCosimResult:
     """Co-simulate one complete RK time step: RKL streamed into RKU.
 
@@ -996,6 +1014,13 @@ def cosimulate_rk_stage(
         Simulation engine
         (:meth:`~repro.dataflow.simulator.DataflowSimulator.run`);
         ``"auto"`` resolves to the vectorized schedule engine.
+    dtype:
+        Precision mode (``"float64"``, ``"float32"``, ``"mixed"``;
+        ``None`` defers to ``REPRO_DTYPE``): the streamed step's staging
+        arrays run in the policy's storage dtype and its accumulators in
+        the accumulation dtype, matching the functional
+        :meth:`~repro.solver.simulation.Simulation.step` under the same
+        policy.
 
     Returns
     -------
@@ -1021,10 +1046,13 @@ def cosimulate_rk_stage(
         raise ExperimentError("num_steps must be >= 1")
     sim = Simulation(
         mesh, case, tableau=tableau, backend=backend,
-        initial_state=initial_state, num_workers=num_workers,
+        initial_state=initial_state, num_workers=num_workers, dtype=dtype,
     )
     operator = sim.operator
-    y0 = sim.state.as_stacked()
+    precision = operator.precision
+    storage = precision.storage
+    acc_dtype = precision.accumulate_for(storage)
+    y0 = sim.state.as_stacked().astype(storage, copy=False)
     if dt is None:
         dt = sim.compute_dt()
     num_nodes = mesh.num_nodes
@@ -1036,7 +1064,9 @@ def cosimulate_rk_stage(
     node_sizes = [block.size for block in blocks]
 
     ctx = PipelineContext.from_operator(operator)
-    rku_ctx = RKUpdateContext(gas=operator.gas, num_nodes=num_nodes)
+    rku_ctx = RKUpdateContext(
+        gas=operator.gas, num_nodes=num_nodes, precision=precision
+    )
     rkl_pipeline = element_pipeline()
     combine_pipeline = rk_update_pipeline(primitives=False)
     update_pipeline = rk_update_pipeline(primitives=True)
@@ -1083,14 +1113,17 @@ def cosimulate_rk_stage(
         # states the RKL streams read, and the step's outputs. The
         # previous step's output state is this step's base state.
         y_step = out_state
-        derivs = [np.zeros(shape) for _ in range(num_stages)]
+        derivs = [np.zeros(shape, dtype=storage) for _ in range(num_stages)]
         stage_states: list[np.ndarray] = [y_step]
-        stage_states += [np.empty(shape) for _ in range(num_stages - 1)]
-        accumulators = [
-            [np.zeros(shape) for _ in partitions] for _ in range(num_stages)
+        stage_states += [
+            np.empty(shape, dtype=storage) for _ in range(num_stages - 1)
         ]
-        out_state = np.empty(shape)
-        out_primitives = np.empty(shape)
+        accumulators = [
+            [np.zeros(shape, dtype=acc_dtype) for _ in partitions]
+            for _ in range(num_stages)
+        ]
+        out_state = np.empty(shape, dtype=storage)
+        out_primitives = np.empty(shape, dtype=storage)
 
         def finalizer(stage: int, accumulators=accumulators, derivs=derivs):
             """Finalize stage ``stage``'s derivative when its consumer
@@ -1102,6 +1135,8 @@ def cosimulate_rk_stage(
                 total = accumulators[stage][0]
                 for accumulator in accumulators[stage][1:]:
                     total = total + accumulator
+                if total.dtype != storage:
+                    total = total.astype(storage)
                 derivs[stage][:] = operator.finalize_residual(total)
 
             return prepare

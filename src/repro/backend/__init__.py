@@ -22,8 +22,11 @@ Built-in backends:
 
 Selection precedence: explicit argument > ``REPRO_BACKEND`` environment
 variable > ``"reference"``. Parallel worker counts: explicit
-``num_workers`` > ``REPRO_NUM_WORKERS`` > CPU count. See ARCHITECTURE.md
-for how to register a third-party backend.
+``num_workers`` > ``REPRO_NUM_WORKERS`` > CPU count. Every backend is
+dtype-preserving and takes a ``precision`` policy (explicit argument >
+``REPRO_DTYPE`` > ``"float64"``, see :mod:`repro.precision`) that picks
+the scatter-add accumulation dtype for float32 streams. See
+ARCHITECTURE.md for how to register a third-party backend.
 """
 
 from .base import KernelBackend

@@ -41,6 +41,7 @@ import numpy as np
 
 from ..fem.geometry import ElementGeometry
 from ..fem.reference import ReferenceHex
+from ..precision.modes import FLOAT64_POLICY, PrecisionPolicy
 
 
 class KernelBackend(abc.ABC):
@@ -49,10 +50,29 @@ class KernelBackend(abc.ABC):
     Implementations must be numerically interchangeable: the test suite
     asserts every registered backend matches the ``"reference"`` oracle
     to tight tolerance on all kernels and on a full RHS evaluation.
+
+    Every kernel is *dtype-preserving*: float32 inputs produce float32
+    outputs (the accelerator's native precision), float64 inputs stay
+    float64 (the oracle). The only precision *choice* a backend makes
+    is the scatter-add reduction dtype, governed by its
+    :class:`~repro.precision.modes.PrecisionPolicy` (set at
+    construction via the ``precision`` argument, defaulting to the
+    float64/mixed behaviour of accumulating f32 streams in f64).
     """
 
     #: Registry name; subclasses override.
     name: str = "abstract"
+
+    #: Precision policy; class-level default so subclasses with custom
+    #: constructors that skip ``super().__init__`` still resolve.
+    precision: PrecisionPolicy = FLOAT64_POLICY
+
+    def __init__(self, precision: str | PrecisionPolicy | None = None) -> None:
+        self.precision = PrecisionPolicy.resolve(precision)
+
+    def accumulate_dtype(self, values_dtype) -> np.dtype:
+        """Reduction dtype for scatter-adds over ``values_dtype`` streams."""
+        return self.precision.accumulate_for(values_dtype)
 
     # -- assembly (LOAD / STORE) -------------------------------------------
 

@@ -46,15 +46,17 @@ class FastBackend(KernelBackend):
 
     name = "fast"
 
-    def __init__(self) -> None:
+    def __init__(self, precision=None) -> None:
+        super().__init__(precision)
         # (formula, operand shapes) -> einsum contraction path.
         self._paths: dict[tuple, list] = {}
-        # (tag, shape) -> reusable float64 scratch array.
+        # (tag, shape, dtype) -> reusable scratch array.
         self._workspace: dict[tuple, np.ndarray] = {}
         # (F, num_nodes, conn shape) -> (connectivity, fused flat index).
         self._scatter_index: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
-        # order-keyed cache of the transposed differentiation matrix.
-        self._diff_t: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        # (order, dtype)-keyed cache of the differentiation matrix and its
+        # contiguous transpose, cast to the field dtype.
+        self._diff_t: dict[tuple, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
 
     # -- plumbing ------------------------------------------------------------
 
@@ -69,34 +71,40 @@ class FastBackend(KernelBackend):
             self._paths[key] = path
         return np.einsum(formula, *operands, out=out, optimize=path)
 
-    def _ws(self, tag: str, shape: tuple[int, ...]) -> np.ndarray:
-        """Reusable float64 scratch buffer for *internal* temporaries.
+    def _ws(self, tag: str, shape: tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        """Reusable scratch buffer for *internal* temporaries.
 
-        Buffers are keyed by (tag, shape) and persist on the backend
-        instance, so repeated kernel invocations — e.g. the four RK
-        stages of every time step — reuse the same memory. They are never
-        returned to callers.
+        Buffers are keyed by (tag, shape, dtype) and persist on the
+        backend instance, so repeated kernel invocations — e.g. the four
+        RK stages of every time step — reuse the same memory. They are
+        never returned to callers.
         """
-        key = (tag, shape)
+        key = (tag, shape, np.dtype(dtype).str)
         buf = self._workspace.get(key)
         if buf is None:
-            buf = np.empty(shape)
+            buf = np.empty(shape, dtype=dtype)
             self._workspace[key] = buf
         return buf
 
-    def _dt(self, ref: ReferenceHex) -> np.ndarray:
-        """Contiguous transpose of the 1D differentiation matrix.
+    def _diff_pair(self, ref: ReferenceHex, dtype) -> tuple[np.ndarray, np.ndarray]:
+        """The 1D differentiation matrix and its contiguous transpose,
+        cast to ``dtype``.
 
-        Keyed by polynomial order with the source matrix identity checked,
-        so a rebuilt ReferenceHex (same order, different nodes) never gets
-        a stale transpose.
+        Keyed by (polynomial order, dtype) with the source matrix
+        identity checked, so a rebuilt ReferenceHex (same order,
+        different nodes) never gets a stale cast. Float32 streams must
+        contract against a float32 matrix: an f64 operand would silently
+        upcast the GEMM, costing both the dtype guarantee and the
+        bandwidth the accelerator's native precision buys.
         """
-        entry = self._diff_t.get(ref.order)
+        key = (ref.order, np.dtype(dtype).str)
+        entry = self._diff_t.get(key)
         if entry is not None and entry[0] is ref.diff:
-            return entry[1]
-        dt = np.ascontiguousarray(ref.diff.T)
-        self._diff_t[ref.order] = (ref.diff, dt)
-        return dt
+            return entry[1], entry[2]
+        d = np.ascontiguousarray(ref.diff, dtype=dtype)
+        dt = np.ascontiguousarray(ref.diff.T, dtype=dtype)
+        self._diff_t[key] = (ref.diff, d, dt)
+        return d, dt
 
     # -- assembly (LOAD / STORE) -------------------------------------------
 
@@ -112,10 +120,16 @@ class FastBackend(KernelBackend):
     def scatter_add(
         self, element_values: np.ndarray, connectivity: np.ndarray, num_nodes: int
     ) -> np.ndarray:
-        # The single-field scatter is already one bincount; delegate so the
-        # semantics (validation, f64 accumulation, dtype restore) have a
-        # single source of truth shared with the oracle.
-        return assembly.scatter_add(element_values, connectivity, num_nodes)
+        # The single-field scatter is already one reduction; delegate so
+        # the semantics (validation, accumulate dtype, dtype restore)
+        # have a single source of truth shared with the oracle.
+        element_values = np.asarray(element_values)
+        return assembly.scatter_add(
+            element_values,
+            connectivity,
+            num_nodes,
+            accumulate_dtype=self.accumulate_dtype(element_values.dtype),
+        )
 
     def _fused_scatter_index(
         self, connectivity: np.ndarray, num_fields: int, num_nodes: int
@@ -149,11 +163,23 @@ class FastBackend(KernelBackend):
             )
         num_fields = element_values.shape[0]
         fused = self._fused_scatter_index(connectivity, num_fields, num_nodes)
-        flat_val = np.ascontiguousarray(element_values, dtype=np.float64).ravel()
-        out = np.bincount(
-            fused, weights=flat_val, minlength=num_fields * num_nodes
-        ).reshape(num_fields, num_nodes)
-        if element_values.dtype != np.float64:
+        acc = self.accumulate_dtype(element_values.dtype)
+        if acc == np.float64:
+            flat_val = np.ascontiguousarray(
+                element_values, dtype=np.float64
+            ).ravel()
+            out = np.bincount(
+                fused, weights=flat_val, minlength=num_fields * num_nodes
+            ).reshape(num_fields, num_nodes)
+        else:
+            # Native-precision reduction: ufunc.at is unbuffered and
+            # applies contributions in flat (field, element, node) order,
+            # so per-node add sequences are identical to the per-field
+            # oracle scatter — bitwise-reproducible across backends.
+            out = np.zeros(num_fields * num_nodes, dtype=acc)
+            np.add.at(out, fused, element_values.ravel())
+            out = out.reshape(num_fields, num_nodes)
+        if element_values.dtype != out.dtype:
             out = out.astype(element_values.dtype)
         return out
 
@@ -172,9 +198,8 @@ class FastBackend(KernelBackend):
         n1 = ref.n1
         batch = fields.shape[0]
         grid = fields.reshape(batch, n1, n1, n1)
-        out = self._ws(tag, (batch, 3, n1, n1, n1))
-        d = ref.diff
-        dt = self._dt(ref)
+        out = self._ws(tag, (batch, 3, n1, n1, n1), dtype=fields.dtype)
+        d, dt = self._diff_pair(ref, fields.dtype)
         # d/dxi:   out[.., z, y, a] = sum_b grid[.., z, y, b] * d[a, b]
         np.matmul(grid, dt, out=out[:, 0])
         # d/deta:  out[.., z, a, y] = sum_b d[a, b] * grid[.., z, b, y]
@@ -198,7 +223,7 @@ class FastBackend(KernelBackend):
         self, ref_grad: np.ndarray, geom: ElementGeometry
     ) -> np.ndarray:
         """``(..., E, 3, Q)`` reference gradients -> ``(..., E, Q, 3)``."""
-        inv = geom.inverse_jacobian
+        inv = geom.inverse_jacobian.astype(ref_grad.dtype, copy=False)
         rg_t = np.swapaxes(ref_grad, -1, -2)  # (..., E, Q, 3)
         if inv.shape[1] == 1:  # affine: one metric per element, batched GEMM
             inv0 = inv[:, 0]
@@ -247,8 +272,9 @@ class FastBackend(KernelBackend):
         ``G[r, q] = scale_q * sum_p invJ[r, p] F_p(q)`` — the quantity the
         D^T stencils of the weak divergence contract against.
         """
-        inv = geom.inverse_jacobian
-        g = self._ws(tag, flux.shape[:-2] + (3, flux.shape[-2]))
+        inv = geom.inverse_jacobian.astype(flux.dtype, copy=False)
+        scale = scale.astype(flux.dtype, copy=False)
+        g = self._ws(tag, flux.shape[:-2] + (3, flux.shape[-2]), dtype=flux.dtype)
         if inv.shape[1] == 1:
             inv0 = inv[:, 0]
             if flux.ndim == 4:
@@ -271,10 +297,9 @@ class FastBackend(KernelBackend):
         n1 = ref.n1
         batch = contravariant.shape[0]
         gz = contravariant.reshape(batch, 3, n1, n1, n1)
-        d = ref.diff
-        dt = self._dt(ref)
-        res = self._ws(tag, (batch, n1, n1, n1))
-        tmp = self._ws(tag + "_tmp", (batch, n1, n1, n1))
+        d, dt = self._diff_pair(ref, contravariant.dtype)
+        res = self._ws(tag, (batch, n1, n1, n1), dtype=contravariant.dtype)
+        tmp = self._ws(tag + "_tmp", (batch, n1, n1, n1), dtype=contravariant.dtype)
         # out[a] = sum_q d[q, a] G[q] along the matching axis of each
         # direction (the transposed stencils of the gradient GEMMs).
         np.matmul(gz[:, 0], d, out=res)

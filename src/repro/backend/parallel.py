@@ -105,18 +105,40 @@ def _geom_slice(geom: ElementGeometry, sl: slice) -> ElementGeometry:
 
 
 def _scatter_partial(
-    values: np.ndarray, conn_shard: np.ndarray, num_nodes: int
+    values: np.ndarray, conn_shard: np.ndarray, num_nodes: int, acc_dtype
 ) -> np.ndarray:
-    """Float64 partial scatter of one element shard, ``(num_nodes,)``.
+    """Partial scatter of one element shard, ``(num_nodes,)``.
 
-    Partials stay float64 so the parent can reduce them in shard order
-    and round to the input dtype exactly once — the same "accumulate in
-    f64, cast at the end" semantics as :func:`repro.fem.assembly.scatter_add`.
+    ``acc_dtype`` is the accumulation dtype of the owning backend's
+    precision policy (always float64 for float64 inputs). Float64
+    partials let the parent reduce in shard order and round to the input
+    dtype exactly once — the "accumulate in f64, cast at the end"
+    semantics of :func:`repro.fem.assembly.scatter_add`. Float32 partials
+    (the device-faithful ``"float32"`` mode) sum with the unbuffered
+    ``np.add.at`` in element order instead, so the reduction is still
+    bitwise-deterministic, just in native precision.
     """
-    flat_val = np.ascontiguousarray(values, dtype=np.float64).ravel()
-    return np.bincount(
-        conn_shard.ravel(), weights=flat_val, minlength=num_nodes
-    )
+    acc = np.dtype(acc_dtype)
+    if acc == np.float64:
+        flat_val = np.ascontiguousarray(values, dtype=np.float64).ravel()
+        return np.bincount(
+            conn_shard.ravel(), weights=flat_val, minlength=num_nodes
+        )
+    part = np.zeros(num_nodes, dtype=acc)
+    np.add.at(part, conn_shard, values)
+    return part
+
+
+def _scatter_many_partial(
+    values: np.ndarray, conn_shard: np.ndarray, num_nodes: int, acc_dtype
+) -> np.ndarray:
+    """Stacked-field partial scatter, ``(F, num_nodes)`` in ``acc_dtype``."""
+    out = np.empty((values.shape[0], num_nodes), dtype=acc_dtype)
+    for f_idx in range(values.shape[0]):
+        out[f_idx] = _scatter_partial(
+            values[f_idx], conn_shard, num_nodes, acc_dtype
+        )
+    return out
 
 
 def _apply_shard(
@@ -136,7 +158,9 @@ def _apply_shard(
     Shared by both pools: the threaded backend calls it on the caller's
     arrays directly; the process workers call it on their shared-memory
     views. Elementwise kernels write the shard's disjoint slice of the
-    full output; the scatter kernels write a float64 partial row.
+    full output; the scatter kernels write a partial row whose dtype
+    (``out.dtype``, allocated by the parent from its precision policy)
+    selects the accumulation precision — no extra protocol field needed.
     """
     if kernel == "gather":
         out[..., sl, :] = local.gather(inp, conn_shard)
@@ -155,11 +179,12 @@ def _apply_shard(
             inp[:, sl], _geom_slice(geom, sl), ref
         )
     elif kernel == "scatter_add":
-        out[partial_row] = _scatter_partial(inp[sl], conn_shard, num_nodes)
+        out[partial_row] = _scatter_partial(
+            inp[sl], conn_shard, num_nodes, out.dtype
+        )
     elif kernel == "scatter_add_many":
-        vals = np.ascontiguousarray(inp[:, sl], dtype=np.float64)
-        out[partial_row] = local.scatter_add_many(
-            vals, conn_shard, num_nodes
+        out[partial_row] = _scatter_many_partial(
+            inp[:, sl], conn_shard, num_nodes, out.dtype
         )
     else:  # pragma: no cover - internal protocol
         raise BackendError(f"unknown sharded kernel {kernel!r}")
@@ -178,9 +203,10 @@ class _ShardedBackend(KernelBackend):
     3. otherwise shard the element axis, run, and reduce.
     """
 
-    def __init__(self, num_workers: int | None = None) -> None:
+    def __init__(self, num_workers: int | None = None, precision=None) -> None:
+        super().__init__(precision)
         self.num_workers = resolve_num_workers(num_workers)
-        self._serial = FastBackend()
+        self._serial = FastBackend(precision=self.precision)
         self._owner_pid: int | None = None
         self._finalize_pid: int | None = None
 
@@ -298,7 +324,8 @@ class _ShardedBackend(KernelBackend):
         if not scatter:
             return result
         # Deterministic reduction: partials summed in fixed shard order
-        # (float64 throughout), rounded to the input dtype exactly once.
+        # in the policy's accumulate dtype, rounded to the input dtype
+        # exactly once (a no-op when the two coincide).
         total = result[0].copy()
         for row in range(1, result.shape[0]):
             total += result[row]
@@ -359,7 +386,7 @@ class _ShardedBackend(KernelBackend):
             None,
             num_nodes,
             (num_nodes,),
-            np.float64,
+            self.accumulate_dtype(element_values.dtype),
             reduce_dtype=element_values.dtype,
         )
 
@@ -390,7 +417,7 @@ class _ShardedBackend(KernelBackend):
             None,
             num_nodes,
             (element_values.shape[0], num_nodes),
-            np.float64,
+            self.accumulate_dtype(element_values.dtype),
             reduce_dtype=element_values.dtype,
         )
 
@@ -411,7 +438,7 @@ class _ShardedBackend(KernelBackend):
             ref,
             None,
             (num_elements, 3, field.shape[1]),
-            np.float64,
+            field.dtype,
         )
 
     def physical_gradient(
@@ -433,7 +460,7 @@ class _ShardedBackend(KernelBackend):
             ref,
             None,
             field.shape + (3,),
-            np.float64,
+            field.dtype,
         )
 
     def physical_gradient_many(
@@ -454,7 +481,7 @@ class _ShardedBackend(KernelBackend):
             ref,
             None,
             fields.shape + (3,),
-            np.float64,
+            fields.dtype,
         )
 
     def weak_divergence(
@@ -476,7 +503,7 @@ class _ShardedBackend(KernelBackend):
             ref,
             None,
             flux.shape[:-1],
-            np.float64,
+            flux.dtype,
         )
 
     def weak_divergence_many(
@@ -500,7 +527,7 @@ class _ShardedBackend(KernelBackend):
             ref,
             None,
             fluxes.shape[:-1],
-            np.float64,
+            fluxes.dtype,
         )
 
 
@@ -520,8 +547,8 @@ class ThreadedBackend(_ShardedBackend):
 
     name = "threaded"
 
-    def __init__(self, num_workers: int | None = None) -> None:
-        super().__init__(num_workers)
+    def __init__(self, num_workers: int | None = None, precision=None) -> None:
+        super().__init__(num_workers, precision)
         self._pool: ThreadPoolExecutor | None = None
         self._locals: list[FastBackend] = []
         # Connectivity shard views cached per array identity so the fast
@@ -554,7 +581,10 @@ class ThreadedBackend(_ShardedBackend):
                 max_workers=self.num_workers,
                 thread_name_prefix="repro-backend",
             )
-            self._locals = [FastBackend() for _ in range(self.num_workers)]
+            self._locals = [
+                FastBackend(precision=self.precision)
+                for _ in range(self.num_workers)
+            ]
             self._owner_pid = os.getpid()
             self._register_atexit()
         return self._pool
@@ -757,8 +787,8 @@ class ProcsBackend(_ShardedBackend):
 
     name = "procs"
 
-    def __init__(self, num_workers: int | None = None) -> None:
-        super().__init__(num_workers)
+    def __init__(self, num_workers: int | None = None, precision=None) -> None:
+        super().__init__(num_workers, precision)
         self._workers: list = []
         self._channels: list = []
         self._input = _Arena("in")

@@ -27,12 +27,24 @@ class ReferenceBackend(KernelBackend):
     def scatter_add(
         self, element_values: np.ndarray, connectivity: np.ndarray, num_nodes: int
     ) -> np.ndarray:
-        return assembly.scatter_add(element_values, connectivity, num_nodes)
+        element_values = np.asarray(element_values)
+        return assembly.scatter_add(
+            element_values,
+            connectivity,
+            num_nodes,
+            accumulate_dtype=self.accumulate_dtype(element_values.dtype),
+        )
 
     def scatter_add_many(
         self, element_values: np.ndarray, connectivity: np.ndarray, num_nodes: int
     ) -> np.ndarray:
-        return assembly.scatter_add_many(element_values, connectivity, num_nodes)
+        element_values = np.asarray(element_values)
+        return assembly.scatter_add_many(
+            element_values,
+            connectivity,
+            num_nodes,
+            accumulate_dtype=self.accumulate_dtype(element_values.dtype),
+        )
 
     def reference_gradient(self, field: np.ndarray, ref: ReferenceHex) -> np.ndarray:
         return operators.reference_gradient(field, ref)

@@ -133,12 +133,12 @@ def add_num_workers_argument(parser) -> None:
     )
 
 
-def _factory_accepts_num_workers(factory: Callable) -> bool:
+def _factory_accepts(factory: Callable, param: str) -> bool:
     try:
         params = inspect.signature(factory).parameters
     except (TypeError, ValueError):  # pragma: no cover - builtins
         return False
-    if "num_workers" in params:
+    if param in params:
         return True
     return any(
         p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
@@ -149,15 +149,16 @@ def get_backend(
     name: str | KernelBackend | None = None,
     *,
     num_workers: int | None = None,
+    precision=None,
 ) -> KernelBackend:
     """Instantiate the backend selected by ``name`` / env var / default.
 
     Accepts an already-constructed :class:`KernelBackend` and returns it
     unchanged, so call sites can take ``str | KernelBackend | None``
-    uniformly. ``num_workers`` is forwarded to factories that accept it
-    (the parallel backends) and silently ignored by those that do not
-    (``"reference"``, ``"fast"``), so one call signature serves every
-    backend.
+    uniformly. ``num_workers`` and ``precision`` (a dtype-mode name or
+    :class:`~repro.precision.modes.PrecisionPolicy`) are forwarded to
+    factories that accept them and silently ignored by those that do
+    not, so one call signature serves every backend.
     """
     if isinstance(name, KernelBackend):
         return name
@@ -171,10 +172,12 @@ def get_backend(
             f"{BACKEND_ENV_VAR} environment variable; add new ones with "
             "repro.backend.register_backend()."
         )
-    if num_workers is not None and _factory_accepts_num_workers(factory):
-        backend = factory(num_workers=num_workers)
-    else:
-        backend = factory()
+    kwargs = {}
+    if num_workers is not None and _factory_accepts(factory, "num_workers"):
+        kwargs["num_workers"] = num_workers
+    if precision is not None and _factory_accepts(factory, "precision"):
+        kwargs["precision"] = precision
+    backend = factory(**kwargs)
     if not isinstance(backend, KernelBackend):
         raise ConfigurationError(
             f"backend factory for {key!r} returned {type(backend).__name__}, "

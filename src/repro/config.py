@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .errors import ConfigurationError
+from .precision.modes import resolve_dtype
 
 # ---------------------------------------------------------------------------
 # Unit helpers
@@ -130,6 +131,11 @@ class SolverConfig:
         ``"procs"``). ``None`` defers to the ``REPRO_NUM_WORKERS``
         environment variable, then the machine's CPU count. Ignored by
         serial backends.
+    dtype:
+        Precision mode for fields and accumulators (``"float64"``,
+        ``"float32"``, or ``"mixed"`` — see
+        :mod:`repro.precision.modes`). ``None`` defers to the
+        ``REPRO_DTYPE`` environment variable, then ``"float64"``.
     """
 
     polynomial_order: int = 2
@@ -140,6 +146,7 @@ class SolverConfig:
     gas_constant: float = 287.0
     backend: str | None = None
     num_workers: int | None = None
+    dtype: str | None = None
 
     def __post_init__(self) -> None:
         if self.backend is not None and (
@@ -154,6 +161,8 @@ class SolverConfig:
             raise ConfigurationError(
                 "num_workers must be None or a positive integer"
             )
+        if self.dtype is not None:
+            resolve_dtype(self.dtype)  # raises on unknown modes
         if self.polynomial_order < 1:
             raise ConfigurationError("polynomial_order must be >= 1")
         if not (0.0 < self.cfl <= 2.0):

@@ -15,13 +15,14 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, fields, replace
 
-from ..errors import DSEError
+from ..errors import ConfigurationError, DSEError
 from ..fpga.device import DEVICE_REGISTRY
 from ..mesh.partition import (
     partition_elements_balanced,
     partition_elements_contiguous,
 )
 from ..pipeline.navier_stokes import FUSIONS
+from ..precision import resolve_dtype
 
 #: Flow cases a point can be priced on: the Taylor-Green vortex on the
 #: triply periodic box, and the wall-bounded decaying shear flow on the
@@ -61,6 +62,12 @@ class DesignPoint:
     case:
         Flow case (:data:`CASES`) — fixes periodicity and hence the
         node count of the mesh.
+    precision:
+        Precision mode of the priced run
+        (:data:`repro.precision.DTYPE_MODES`): ``"float64"`` oracle,
+        ``"float32"`` device-faithful, or ``"mixed"``
+        f32-stream/f64-accumulate. Aliases (``f32``, ``fp64``, ...)
+        canonicalize at construction so cache keys stay stable.
     """
 
     polynomial_order: int = 2
@@ -72,6 +79,7 @@ class DesignPoint:
     partition: str = "balanced"
     num_steps: int = 1
     case: str = "tgv"
+    precision: str = "float64"
 
     def __post_init__(self) -> None:
         for name in (
@@ -100,6 +108,11 @@ class DesignPoint:
             )
         if self.case not in CASES:
             raise DSEError(f"case must be one of {CASES}, got {self.case!r}")
+        try:
+            canonical = resolve_dtype(self.precision)
+        except ConfigurationError as exc:
+            raise DSEError(str(exc)) from None
+        object.__setattr__(self, "precision", canonical)
 
     # -- derived mesh arithmetic --------------------------------------------
 

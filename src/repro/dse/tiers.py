@@ -266,7 +266,10 @@ def evaluate_cosim(point: DesignPoint) -> PointResult:
     (:func:`~repro.accel.cosim.cosimulate_rk_stage`): the stage cycles
     are measured windows of a run that computed the real physics, and
     the recorded ``state_max_rel_err`` proves it against the functional
-    solver.
+    solver. The point's ``precision`` axis lands here: the streamed
+    payloads run under that mode (the timing tiers are
+    precision-invariant — cycles price token counts, not dtypes — so
+    only this tier's recorded state error moves with it).
     """
     design = design_for(point)
     mesh = point.mesh()
@@ -285,6 +288,7 @@ def evaluate_cosim(point: DesignPoint) -> PointResult:
         block_size=point.block_size,
         partitions=point.element_partitions(),
         num_steps=point.num_steps,
+        dtype=point.precision,
     )
     rkl_stage = sum(result.per_stage_rkl_cycles) / len(
         result.per_stage_rkl_cycles

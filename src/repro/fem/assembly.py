@@ -37,16 +37,24 @@ def gather(global_field: np.ndarray, connectivity: np.ndarray) -> np.ndarray:
 
 
 def scatter_add(
-    element_values: np.ndarray, connectivity: np.ndarray, num_nodes: int
+    element_values: np.ndarray,
+    connectivity: np.ndarray,
+    num_nodes: int,
+    accumulate_dtype=None,
 ) -> np.ndarray:
     """Accumulate element-local values into a global nodal array.
 
     Shared nodes receive the *sum* of all element contributions
-    (direct stiffness summation). Implemented with ``bincount``, which is
-    substantially faster than ``np.add.at`` for large meshes.
-    Accumulation always happens in float64 (``bincount`` requires it),
-    but the result is cast back so the input dtype is preserved —
-    float32 pipelines (the accelerator's native precision) stay float32.
+    (direct stiffness summation). By default accumulation happens in
+    float64 via ``bincount`` (substantially faster than ``np.add.at``
+    for large meshes) and the result is cast back so the input dtype is
+    preserved — float32 streams accumulate wide and store narrow, the
+    ``"mixed"`` precision mode.
+
+    ``accumulate_dtype=np.float32`` instead sums with ``np.add.at`` in
+    float32, in flat element order — the device-faithful ``"float32"``
+    reduction, bitwise-deterministic because ``ufunc.at`` is unbuffered
+    and applies contributions in index order.
     """
     element_values = np.asarray(element_values)
     if element_values.shape != connectivity.shape:
@@ -54,16 +62,24 @@ def scatter_add(
             "element_values and connectivity shapes differ: "
             f"{element_values.shape} vs {connectivity.shape}"
         )
-    flat_idx = connectivity.ravel()
-    flat_val = np.ascontiguousarray(element_values, dtype=np.float64).ravel()
-    out = np.bincount(flat_idx, weights=flat_val, minlength=num_nodes)
-    if element_values.dtype != np.float64:
+    acc = np.float64 if accumulate_dtype is None else np.dtype(accumulate_dtype)
+    if np.dtype(acc) == np.float64:
+        flat_idx = connectivity.ravel()
+        flat_val = np.ascontiguousarray(element_values, dtype=np.float64).ravel()
+        out = np.bincount(flat_idx, weights=flat_val, minlength=num_nodes)
+    else:
+        out = np.zeros(num_nodes, dtype=acc)
+        np.add.at(out, connectivity, element_values)
+    if element_values.dtype != out.dtype:
         out = out.astype(element_values.dtype)
     return out
 
 
 def scatter_add_many(
-    element_values: np.ndarray, connectivity: np.ndarray, num_nodes: int
+    element_values: np.ndarray,
+    connectivity: np.ndarray,
+    num_nodes: int,
+    accumulate_dtype=None,
 ) -> np.ndarray:
     """Scatter several stacked fields ``(F, E, Q)`` at once to ``(F, N)``."""
     element_values = np.asarray(element_values)
@@ -71,7 +87,12 @@ def scatter_add_many(
         raise FEMError(f"element_values must be (F, E, Q), got {element_values.shape}")
     out = np.empty((element_values.shape[0], num_nodes), dtype=element_values.dtype)
     for f_idx in range(element_values.shape[0]):
-        out[f_idx] = scatter_add(element_values[f_idx], connectivity, num_nodes)
+        out[f_idx] = scatter_add(
+            element_values[f_idx],
+            connectivity,
+            num_nodes,
+            accumulate_dtype=accumulate_dtype,
+        )
     return out
 
 

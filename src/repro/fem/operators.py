@@ -45,9 +45,12 @@ def reference_gradient(field: np.ndarray, ref: ReferenceHex) -> np.ndarray:
     n1 = ref.n1
     if field.ndim != 2 or field.shape[1] != n1**3:
         raise FEMError(f"field must be (E, {n1 ** 3}), got {field.shape}")
-    d = ref.diff
+    # Cast the (tabulated, float64) differentiation matrix to the field
+    # dtype: float32 streams must differentiate in float32, both for
+    # device faithfulness and to keep every kernel dtype-preserving.
+    d = ref.diff.astype(field.dtype, copy=False)
     grid = _as_grid(field, n1)  # (E, z, y, x)
-    out = np.empty((field.shape[0], 3) + grid.shape[1:])
+    out = np.empty((field.shape[0], 3) + grid.shape[1:], dtype=field.dtype)
     # d/dxi acts on the x (last) axis: out[e,z,y,a] = sum_b D[a,b] f[e,z,y,b]
     out[:, 0] = np.einsum("ab,ezyb->ezya", d, grid, optimize=True)
     out[:, 1] = np.einsum("ab,ezby->ezay", d, grid, optimize=True)
@@ -63,7 +66,7 @@ def physical_gradient(
     Returns ``(E, Q, 3)``: ``out[e, q, p] = df/dx_p`` at node ``q``.
     """
     ref_grad = reference_gradient(field, ref)  # (E, 3, Q)
-    inv = geom.inverse_jacobian
+    inv = geom.inverse_jacobian.astype(ref_grad.dtype, copy=False)
     if inv.shape[1] == 1:  # affine: metric constant within the element
         return np.einsum("erq,erp->eqp", ref_grad, inv[:, 0], optimize=True)
     return np.einsum("erq,eqrp->eqp", ref_grad, inv, optimize=True)
@@ -81,7 +84,7 @@ def physical_gradient_many(
     fields = np.asarray(fields)
     if fields.ndim != 3:
         raise FEMError(f"fields must be (F, E, Q), got {fields.shape}")
-    out = np.empty(fields.shape + (3,))
+    out = np.empty(fields.shape + (3,), dtype=fields.dtype)
     for f_idx in range(fields.shape[0]):
         out[f_idx] = physical_gradient(fields[f_idx], geom, ref)
     return out
@@ -114,8 +117,8 @@ def weak_divergence(
     num_elem = flux.shape[0]
     if flux.shape != (num_elem, n1**3, 3):
         raise FEMError(f"flux must be (E, {n1 ** 3}, 3), got {flux.shape}")
-    inv = geom.inverse_jacobian
-    scale = geom.quadrature_scale(ref)  # (E, Q) = w_q |det J|_q
+    inv = geom.inverse_jacobian.astype(flux.dtype, copy=False)
+    scale = geom.quadrature_scale(ref).astype(flux.dtype, copy=False)
 
     # G[e, r, q] = scale * sum_p invJ[r, p] * F_p  (contravariant flux)
     if inv.shape[1] == 1:
@@ -124,7 +127,7 @@ def weak_divergence(
         g = np.einsum("eqp,eqrp->erq", flux, inv, optimize=True)
     g *= scale[:, None, :]
 
-    d = ref.diff
+    d = ref.diff.astype(flux.dtype, copy=False)
     gz = g.reshape(num_elem, 3, n1, n1, n1)
     # R = -(Dx^T Gx + Dy^T Gy + Dz^T Gz), D^T applied along the matching axis:
     # out[a] = sum_q D[q, a] G[q].

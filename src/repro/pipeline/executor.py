@@ -243,7 +243,10 @@ def streaming_actions(
         If the pipeline does not have exactly one external payload (the
         global state) or its role grouping is not a legal task chain.
     """
-    state = np.asarray(state, dtype=np.float64)
+    # Dtype-preserving: float32 states stream float32 element payloads
+    # (the device-faithful precision mode); the accumulator's dtype picks
+    # the STORE reduction precision, exactly like the backends' policy.
+    state = np.asarray(state)
     if blocks is None:
         blocks = [
             np.array([index], dtype=np.int64)

@@ -55,11 +55,20 @@ class PayloadSpec:
 
     ``shape`` uses symbolic dims (``"F"`` fields, ``"E"`` elements,
     ``"Q"`` nodes per element, ``"N"`` global nodes) or literal ints.
+
+    ``dtype`` declares the payload's *symbolic* precision class, resolved
+    against a :class:`~repro.precision.modes.PrecisionPolicy` at
+    execution time: ``"storage"`` (the streamed dtype — f32 in the
+    device-faithful modes, f64 for the oracle), ``"accumulate"`` (the
+    reduction dtype — f64 in ``mixed``/``float64``), or ``"index"``
+    (integer plumbing such as connectivity). ``None`` means the payload
+    inherits whatever dtype flows in (scalars, sequences).
     """
 
     name: str
     shape: tuple[object, ...]
     description: str = ""
+    dtype: str | None = None
 
 
 @dataclass(frozen=True)

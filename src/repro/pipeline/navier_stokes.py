@@ -31,15 +31,23 @@ def _base_pipeline() -> OperatorPipeline:
     """The unfused two-pass pipeline (the paper's profiled C++ layout)."""
     p = OperatorPipeline(name="navier-stokes[none]")
     for spec in (
-        PayloadSpec("state", ("F", "N"), "stacked conservative state"),
-        PayloadSpec("elem_state_convection", ("F", "E", "Q")),
-        PayloadSpec("elem_state_diffusion", ("F", "E", "Q")),
-        PayloadSpec("flux_convection", ("F", "E", "Q", 3), "Euler fluxes"),
-        PayloadSpec("flux_diffusion", (4, "E", "Q", 3), "viscous fluxes"),
-        PayloadSpec("res_convection", ("F", "E", "Q")),
-        PayloadSpec("res_diffusion", (4, "E", "Q")),
-        PayloadSpec("assembled_convection", ("F", "N")),
-        PayloadSpec("assembled_diffusion", ("F", "N")),
+        PayloadSpec(
+            "state", ("F", "N"), "stacked conservative state", dtype="storage"
+        ),
+        PayloadSpec("elem_state_convection", ("F", "E", "Q"), dtype="storage"),
+        PayloadSpec("elem_state_diffusion", ("F", "E", "Q"), dtype="storage"),
+        PayloadSpec(
+            "flux_convection", ("F", "E", "Q", 3), "Euler fluxes",
+            dtype="storage",
+        ),
+        PayloadSpec(
+            "flux_diffusion", (4, "E", "Q", 3), "viscous fluxes",
+            dtype="storage",
+        ),
+        PayloadSpec("res_convection", ("F", "E", "Q"), dtype="storage"),
+        PayloadSpec("res_diffusion", (4, "E", "Q"), dtype="storage"),
+        PayloadSpec("assembled_convection", ("F", "N"), dtype="accumulate"),
+        PayloadSpec("assembled_diffusion", ("F", "N"), dtype="accumulate"),
     ):
         p.declare_payload(spec)
     p.add_stage(

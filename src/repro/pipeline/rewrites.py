@@ -109,6 +109,7 @@ def share_loads(
             shared_payload,
             sample.shape if sample else ("F", "E", "Q"),
             "shared gathered element state",
+            dtype=sample.dtype if sample else "storage",
         )
     )
     out.add_stage(merged)
@@ -194,9 +195,12 @@ def fuse_flux_divergence(
         or pipeline.producer_of(name) in load_stages
     }
     for spec in (
-        PayloadSpec("net_flux", ("F", "E", "Q", 3), "combined F_c - F_v"),
-        PayloadSpec("res_total", ("F", "E", "Q")),
-        PayloadSpec("assembled_total", ("F", "N")),
+        PayloadSpec(
+            "net_flux", ("F", "E", "Q", 3), "combined F_c - F_v",
+            dtype="storage",
+        ),
+        PayloadSpec("res_total", ("F", "E", "Q"), dtype="storage"),
+        PayloadSpec("assembled_total", ("F", "N"), dtype="accumulate"),
     ):
         out.declare_payload(spec)
     for stage in load_stages:

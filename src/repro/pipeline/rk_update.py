@@ -41,6 +41,7 @@ import numpy as np
 from ..errors import PipelineError
 from ..physics.gas import GasProperties
 from ..physics.state import NUM_CONSERVED
+from ..precision.modes import FLOAT64_POLICY, PrecisionPolicy
 from .executor import _run_stage, role_group_exports
 from .ir import OperatorPipeline, PayloadSpec, Stage
 from .kernels import register_pipeline_kernel
@@ -75,6 +76,11 @@ class RKUpdateContext:
     gas: GasProperties
     num_nodes: int
     buffers: dict[str, np.ndarray] | None = None
+    #: Precision policy governing the dtype of *unbound* accumulation
+    #: buffers (``acc``/``scratch``) the axpy kernel allocates — the
+    #: node-stream analogue of the backends' scatter-add policy. Bound
+    #: buffers carry their own dtype.
+    precision: PrecisionPolicy = FLOAT64_POLICY
 
     def buffer(self, stage: Stage, key: str) -> np.ndarray | None:
         """The preallocated buffer a stage param names (None if unbound).
@@ -134,6 +140,7 @@ def _stage_axpy(
     allocations.
     """
     coeffs = np.asarray(coeffs, dtype=np.float64)
+    acc_dtype = ctx.precision.accumulate_for(np.asarray(state).dtype)
     acc = scratch = None
     first = True
     for deriv, coeff in zip(derivs, coeffs):
@@ -143,14 +150,14 @@ def _stage_axpy(
         if first:
             acc = ctx.buffer(stage, "acc")
             if acc is None:
-                acc = np.empty_like(state)
+                acc = np.empty(state.shape, dtype=acc_dtype)
             np.multiply(deriv, c, out=acc)
             first = False
         else:
             if scratch is None:
                 scratch = ctx.buffer(stage, "scratch")
                 if scratch is None:
-                    scratch = np.empty_like(state)
+                    scratch = np.empty(state.shape, dtype=acc_dtype)
             np.multiply(deriv, c, out=scratch)
             acc += scratch
     if first:
@@ -209,14 +216,22 @@ def _build(primitives: bool, num_terms: int) -> OperatorPipeline:
     variant = "step" if primitives else "combine"
     p = OperatorPipeline(name=f"rk-update[{variant}]")
     for spec in (
-        PayloadSpec("state", ("F", "N"), "stacked conservative state"),
-        PayloadSpec("derivs", ("K", "F", "N"), "finalized stage derivatives"),
+        PayloadSpec(
+            "state", ("F", "N"), "stacked conservative state",
+            dtype="storage",
+        ),
+        PayloadSpec(
+            "derivs", ("K", "F", "N"), "finalized stage derivatives",
+            dtype="storage",
+        ),
         PayloadSpec("coeffs", ("K",), "tableau row of stage weights"),
         PayloadSpec("dt", (), "time-step size"),
-        PayloadSpec("node_state", ("F", "N")),
-        PayloadSpec("node_derivs", ("K", "F", "N")),
-        PayloadSpec("combined", ("F", "N"), "stage-combined state"),
-        PayloadSpec("updated_state", ("F", "N")),
+        PayloadSpec("node_state", ("F", "N"), dtype="storage"),
+        PayloadSpec("node_derivs", ("K", "F", "N"), dtype="storage"),
+        PayloadSpec(
+            "combined", ("F", "N"), "stage-combined state", dtype="storage"
+        ),
+        PayloadSpec("updated_state", ("F", "N"), dtype="storage"),
     ):
         p.declare_payload(spec)
     p.add_stage(
@@ -253,9 +268,14 @@ def _build(primitives: bool, num_terms: int) -> OperatorPipeline:
     )
     if primitives:
         p.declare_payload(
-            PayloadSpec("primitives", (5, "N"), "u, v, w, T, p per node")
+            PayloadSpec(
+                "primitives", (5, "N"), "u, v, w, T, p per node",
+                dtype="storage",
+            )
         )
-        p.declare_payload(PayloadSpec("stored_primitives", (5, "N")))
+        p.declare_payload(
+            PayloadSpec("stored_primitives", (5, "N"), dtype="storage")
+        )
         p.add_stage(
             Stage(
                 "update_primitives",
@@ -419,8 +439,10 @@ def rk_update_streaming_actions(
         If the role grouping is not a legal task chain, or a store
         stage has no output array to write to.
     """
-    state = np.asarray(state, dtype=np.float64)
-    derivs = [np.asarray(deriv, dtype=np.float64) for deriv in derivs]
+    # Dtype-preserving: the node stream runs in the state's dtype so the
+    # float32 precision modes stream exactly what the device would.
+    state = np.asarray(state)
+    derivs = [np.asarray(deriv) for deriv in derivs]
     coeffs = np.asarray(coeffs, dtype=np.float64)
     if blocks is None:
         blocks = node_blocks(ctx.num_nodes, 1)

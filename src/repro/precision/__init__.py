@@ -1,0 +1,56 @@
+"""End-to-end precision modes and the error-growth harness.
+
+``repro.precision.modes`` defines the three precision modes
+(``float64`` oracle, ``float32`` device-faithful, ``mixed``
+f32-stream/f64-accumulate), the :class:`PrecisionPolicy` that threads
+their storage/accumulation dtypes through the backends, solver,
+pipeline, and co-simulator, and the ``REPRO_DTYPE`` / ``--dtype``
+selection chain.
+
+``repro.precision.harness`` measures what the modes cost: it steps the
+Taylor-Green vortex against the analytic solution in every requested
+mode and reports per-stage and per-step error growth f32-vs-f64, the
+way the paper reports accuracy.
+
+The harness is imported lazily (PEP 562) because it depends on the
+solver, which itself consults this package for its policy.
+"""
+
+from .modes import (
+    DEFAULT_DTYPE,
+    DTYPE_ENV_VAR,
+    DTYPE_MODES,
+    FLOAT64_POLICY,
+    PrecisionPolicy,
+    add_dtype_argument,
+    resolve_dtype,
+)
+
+__all__ = [
+    "DEFAULT_DTYPE",
+    "DTYPE_ENV_VAR",
+    "DTYPE_MODES",
+    "FLOAT64_POLICY",
+    "PrecisionPolicy",
+    "add_dtype_argument",
+    "resolve_dtype",
+    "ErrorGrowthReport",
+    "StageErrorRecord",
+    "StepErrorRecord",
+    "error_growth_report",
+]
+
+_HARNESS_EXPORTS = {
+    "ErrorGrowthReport",
+    "StageErrorRecord",
+    "StepErrorRecord",
+    "error_growth_report",
+}
+
+
+def __getattr__(name: str):
+    if name in _HARNESS_EXPORTS:
+        from . import harness
+
+        return getattr(harness, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

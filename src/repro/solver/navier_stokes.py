@@ -39,6 +39,7 @@ import numpy as np
 from ..backend import KernelBackend, get_backend
 from ..errors import SolverError
 from ..fem.assembly import lumped_mass
+from ..precision.modes import PrecisionPolicy
 from ..fem.geometry import compute_geometry
 from ..fem.reference import reference_hex
 from ..mesh.hexmesh import HexMesh
@@ -83,6 +84,14 @@ class NavierStokesOperator:
         Worker count for the parallel backends; ``None`` defers to the
         ``REPRO_NUM_WORKERS`` environment variable, then the CPU count.
         Ignored by serial backends.
+    dtype:
+        Precision mode for the hot path: ``"float64"`` (the oracle),
+        ``"float32"`` (device-faithful, including f32 scatter
+        accumulation), or ``"mixed"`` (f32 streams, f64 accumulation —
+        the accelerator's DSP accumulator model). ``None`` defers to
+        the ``REPRO_DTYPE`` environment variable, then ``"float64"``.
+        A :class:`~repro.precision.modes.PrecisionPolicy` is accepted
+        too.
     """
 
     def __init__(
@@ -94,6 +103,7 @@ class NavierStokesOperator:
         fusion: str | None = None,
         backend: str | KernelBackend | None = None,
         num_workers: int | None = None,
+        dtype: str | PrecisionPolicy | None = None,
     ) -> None:
         self.mesh = mesh
         self.gas = gas
@@ -104,12 +114,25 @@ class NavierStokesOperator:
                 f"fusion must be one of {FUSION_MODES}, got {fusion!r}"
             )
         self.fusion = fusion
-        self.backend = get_backend(backend, num_workers=num_workers)
+        if dtype is None and isinstance(backend, KernelBackend):
+            # A pre-built backend carries its own policy; stay coherent
+            # with it rather than re-resolving the environment default.
+            self.precision = backend.precision
+        else:
+            self.precision = PrecisionPolicy.resolve(dtype)
+        self.backend = get_backend(
+            backend, num_workers=num_workers, precision=self.precision
+        )
         self.profiler = profiler if profiler is not None else PhaseProfiler()
         self.ref = reference_hex(mesh.polynomial_order)
         self.geom = compute_geometry(mesh.corner_coords, self.ref)
         self.mass = lumped_mass(
             mesh.connectivity, mesh.num_nodes, self.geom, self.ref
+        )
+        # Storage-dtype mass so float32 residuals are mass-inverted in
+        # float32 (dividing by the float64 mass would silently upcast).
+        self._mass_storage = self.mass.astype(
+            self.precision.storage, copy=False
         )
         #: The declarative stage graph this operator executes.
         self.pipeline = navier_stokes_pipeline(fusion)
@@ -189,7 +212,12 @@ class NavierStokesOperator:
         (zero normal mass flux holds because the wall velocity is zero).
         """
         with self.profiler.phase("rk.other"):
-            rhs = assembled / self.mass[None, :]
+            mass = (
+                self._mass_storage
+                if assembled.dtype == self._mass_storage.dtype
+                else self.mass
+            )
+            rhs = assembled / mass[None, :]
             if self.wall_nodes.size:
                 rhs[1:, self.wall_nodes] = 0.0
         return rhs
@@ -204,7 +232,7 @@ class NavierStokesOperator:
         ``fusion="full"`` one combined pass shares a single
         gather/divergence/scatter round-trip.
         """
-        stacked = np.asarray(stacked, dtype=np.float64)
+        stacked = np.asarray(stacked, dtype=self.precision.storage)
         if stacked.shape != (NUM_CONSERVED, self.mesh.num_nodes):
             raise SolverError(
                 f"state must be (5, {self.mesh.num_nodes}), got {stacked.shape}"

@@ -89,7 +89,11 @@ class Simulation:
     ``None`` for the ``REPRO_BACKEND``/default selection); ``fusion``
     selects how much of the gather/scatter round-trip the diffusion and
     convection passes share (see
-    :class:`~repro.solver.navier_stokes.NavierStokesOperator`).
+    :class:`~repro.solver.navier_stokes.NavierStokesOperator`);
+    ``dtype`` selects the precision mode (``"float64"``, ``"float32"``,
+    ``"mixed"``; ``None`` defers to ``REPRO_DTYPE``) — the whole RK step
+    (stage states, derivatives, axpy accumulation, primitives) then runs
+    under that policy.
     """
 
     @property
@@ -132,6 +136,7 @@ class Simulation:
         kwargs.setdefault("cfl", solver.cfl)
         kwargs.setdefault("backend", solver.backend)
         kwargs.setdefault("num_workers", solver.num_workers)
+        kwargs.setdefault("dtype", solver.dtype)
         return cls(mesh, case, **kwargs)
 
     def __init__(
@@ -146,6 +151,7 @@ class Simulation:
         fusion: str | None = None,
         backend=None,
         num_workers: int | None = None,
+        dtype=None,
     ) -> None:
         self.case = case
         self.gas = case.gas()
@@ -161,7 +167,9 @@ class Simulation:
                 fusion=fusion,
                 backend=backend,
                 num_workers=num_workers,
+                dtype=dtype,
             )
+            self.precision = self.operator.precision
             if initial_state is None:
                 initial_state = taylor_green_initial(mesh.coords, case)
             initial_state.validate()
@@ -175,11 +183,13 @@ class Simulation:
             # step, the accelerator's on-chip staging analogue — are a
             # graph rewrite (bind_stage_buffers), not a bespoke path.
             shape = (NUM_CONSERVED, mesh.num_nodes)
+            storage = self.precision.storage
+            acc_dtype = self.precision.accumulate_for(storage)
             self._rk_buffers = {
-                "increment": np.empty(shape),
-                "scratch": np.empty(shape),
-                "stage_state": np.empty(shape),
-                "primitives": np.empty(shape),
+                "increment": np.empty(shape, dtype=acc_dtype),
+                "scratch": np.empty(shape, dtype=acc_dtype),
+                "stage_state": np.empty(shape, dtype=storage),
+                "primitives": np.empty(shape, dtype=storage),
             }
             bindings = {
                 "stage_axpy": {
@@ -204,6 +214,7 @@ class Simulation:
                 gas=self.gas,
                 num_nodes=mesh.num_nodes,
                 buffers=self._rk_buffers,
+                precision=self.precision,
             )
 
     # -- stepping -------------------------------------------------------------
@@ -253,7 +264,12 @@ class Simulation:
         if dt <= 0:
             raise SolverError(f"dt must be positive, got {dt}")
         tableau = self.tableau
-        y = self.state.as_stacked()
+        # The step runs in the policy's storage dtype; FlowState itself
+        # stays float64 internally (an f32 -> f64 -> f32 round trip is
+        # exact, so the streamed device state is reproduced bitwise).
+        y = self.state.as_stacked().astype(
+            self.precision.storage, copy=False
+        )
         stage_derivs: list[np.ndarray] = []
         for stage in range(tableau.num_stages):
             y_stage = y

@@ -294,6 +294,91 @@ class TestFullRHSParity:
         par_sim.operator.backend.close()
 
 
+class TestDtypePropagationMatrix:
+    """Every registered backend kernel, called with f32 or f64 inputs,
+    must return exactly the requested dtype — the contract the precision
+    modes (``repro.precision``) stand on. The matrix covers all eight
+    kernels of the :class:`~repro.backend.KernelBackend` protocol on
+    every backend, both geometries included for the metric-weighted
+    kernels (whose float64 metric terms are the classic source of
+    silent upcasts).
+    """
+
+    DTYPES = (np.float32, np.float64)
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_gather_and_scatter(self, setup, backends, dtype):
+        mesh, ref, _affine, _curved, rng = setup
+        oracle, candidates = backends
+        field = rng.standard_normal((5, mesh.num_nodes)).astype(dtype)
+        values = rng.standard_normal(
+            (mesh.num_elements, ref.num_nodes)
+        ).astype(dtype)
+        many = rng.standard_normal(
+            (5, mesh.num_elements, ref.num_nodes)
+        ).astype(dtype)
+        for name, backend in [("reference", oracle), *candidates.items()]:
+            assert backend.gather(field, mesh.connectivity).dtype == dtype, name
+            assert (
+                backend.scatter_add(
+                    values, mesh.connectivity, mesh.num_nodes
+                ).dtype
+                == dtype
+            ), name
+            assert (
+                backend.scatter_add_many(
+                    many, mesh.connectivity, mesh.num_nodes
+                ).dtype
+                == dtype
+            ), name
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("geometry", ["affine", "curved"])
+    def test_gradients_and_divergence(self, setup, backends, geometry, dtype):
+        mesh, ref, affine, curved, rng = setup
+        geom = affine if geometry == "affine" else curved
+        oracle, candidates = backends
+        field = rng.standard_normal(
+            (mesh.num_elements, ref.num_nodes)
+        ).astype(dtype)
+        fields = rng.standard_normal(
+            (4, mesh.num_elements, ref.num_nodes)
+        ).astype(dtype)
+        flux = rng.standard_normal(
+            (mesh.num_elements, ref.num_nodes, 3)
+        ).astype(dtype)
+        fluxes = rng.standard_normal(
+            (5, mesh.num_elements, ref.num_nodes, 3)
+        ).astype(dtype)
+        for name, backend in [("reference", oracle), *candidates.items()]:
+            assert backend.reference_gradient(field, ref).dtype == dtype, name
+            assert (
+                backend.physical_gradient(field, geom, ref).dtype == dtype
+            ), name
+            assert (
+                backend.physical_gradient_many(fields, geom, ref).dtype
+                == dtype
+            ), name
+            assert (
+                backend.weak_divergence(flux, geom, ref).dtype == dtype
+            ), name
+            assert (
+                backend.weak_divergence_many(fluxes, geom, ref).dtype == dtype
+            ), name
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_float32_kernels_stay_close_to_float64(self, setup, backends, dtype):
+        """The f32 path is the same arithmetic, not a different algorithm:
+        its results sit at the f32 rounding floor of the f64 answer."""
+        mesh, ref, _affine, curved, rng = setup
+        oracle, _candidates = backends
+        field = rng.standard_normal((mesh.num_elements, ref.num_nodes))
+        baseline = oracle.physical_gradient(field, curved, ref)
+        got = oracle.physical_gradient(field.astype(dtype), curved, ref)
+        tol = 1e-5 if dtype == np.float32 else 1e-15
+        assert rel_err(baseline, np.asarray(got, dtype=np.float64)) <= tol
+
+
 class TestDtypePreservation:
     def test_scatter_add_preserves_float32(self, setup, backends):
         """Regression: scatter_add used to silently upcast float32 inputs

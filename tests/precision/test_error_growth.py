@@ -1,0 +1,138 @@
+"""Error-growth regressions: f32 accuracy pinned against the analytic
+TGV decay and the f64 oracle (``repro.precision.harness``)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.precision import error_growth_report
+
+#: Pinned final-state velocity-error bounds vs the analytic 2D decay,
+#: per polynomial order (2^3-element mesh, two CFL steps). Measured at
+#: roughly 0.056 (p=3, discretization-limited) and 0.0022 (p=5); the
+#: bound guards against precision-handling regressions inflating them.
+ANALYTIC_BOUNDS = {3: 0.08, 5: 4e-3}
+
+#: The f32 state must stay this close to the f64 oracle after two
+#: steps — the f32 rounding floor with growth headroom, far below any
+#: algorithmic divergence.
+ORACLE_BOUNDS = {3: 2e-6, 5: 2e-6}
+
+
+class TestErrorGrowthReport:
+    @pytest.mark.parametrize("order", (3, 5))
+    def test_f32_final_error_is_bounded(self, order):
+        report = error_growth_report(
+            polynomial_order=order,
+            elements_per_direction=2,
+            num_steps=2,
+            dtype="float32",
+            backend="fast",
+        )
+        assert report.final_error_vs_analytic <= ANALYTIC_BOUNDS[order]
+        assert report.final_error_vs_oracle <= ORACLE_BOUNDS[order]
+        # Reduced precision must be free at these resolutions: the
+        # discretization error dominates, so f32 tracks the analytic
+        # solution essentially as well as the oracle does.
+        assert report.precision_penalty <= 1.01
+
+    def test_error_growth_is_recorded_per_step_and_stage(self):
+        report = error_growth_report(
+            polynomial_order=3,
+            elements_per_direction=2,
+            num_steps=3,
+            dtype="float32",
+        )
+        assert len(report.steps) == 3
+        assert len(report.stages) == 3 * 4  # RK4 stages per step
+        assert report.max_stage_error > 0.0
+        # Errors vs the oracle accumulate monotonically at this horizon
+        # (no cancellation luck at two orders of magnitude above tiny).
+        errs = [rec.error_vs_oracle for rec in report.steps]
+        assert errs[0] > 0.0
+        assert errs[-1] >= errs[0]
+
+    def test_float64_mode_matches_oracle_bitwise(self):
+        """The degenerate self-check: a float64 "test" run is the oracle."""
+        report = error_growth_report(
+            polynomial_order=3,
+            elements_per_direction=2,
+            num_steps=2,
+            dtype="float64",
+        )
+        assert report.final_error_vs_oracle == 0.0
+        assert report.max_stage_error == 0.0
+        assert (
+            report.final_error_vs_analytic
+            == report.final_oracle_error_vs_analytic
+        )
+
+    def test_mixed_mode_stays_at_the_f32_floor(self):
+        report = error_growth_report(
+            polynomial_order=3,
+            elements_per_direction=2,
+            num_steps=2,
+            dtype="mixed",
+        )
+        assert report.mode == "mixed"
+        assert 0.0 < report.final_error_vs_oracle <= 2e-6
+
+    def test_report_serializes(self):
+        import json
+
+        report = error_growth_report(
+            polynomial_order=3, elements_per_direction=2, num_steps=1
+        )
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["mode"] == "float32"
+        assert len(payload["per_stage_deriv_rel_err"]) == 4
+        assert "step 1" in report.summary()
+
+    def test_rejects_bad_step_count(self):
+        with pytest.raises(ConfigurationError):
+            error_growth_report(num_steps=0)
+
+    def test_recorder_does_not_perturb_the_run(self):
+        """The derivative recorder must leave the stepped states bitwise
+        identical to an unobserved simulation."""
+        from repro.mesh.hexmesh import periodic_box_mesh
+        from repro.physics.taylor_green import (
+            DEFAULT_TGV,
+            taylor_green_2d_initial,
+        )
+        from repro.solver.simulation import Simulation
+
+        report = error_growth_report(
+            polynomial_order=3,
+            elements_per_direction=2,
+            num_steps=2,
+            dtype="float32",
+        )
+        mesh = periodic_box_mesh(2, 3)
+        sim = Simulation(
+            mesh,
+            DEFAULT_TGV,
+            initial_state=taylor_green_2d_initial(mesh.coords, DEFAULT_TGV),
+            dtype="float32",
+        )
+        oracle = Simulation(
+            mesh,
+            DEFAULT_TGV,
+            initial_state=taylor_green_2d_initial(mesh.coords, DEFAULT_TGV),
+            dtype="float64",
+        )
+        for _ in range(2):
+            sim.step(report.dt)
+            oracle.step(report.dt)
+        scale = float(np.max(np.abs(oracle.state.as_stacked())))
+        err = (
+            float(
+                np.max(
+                    np.abs(
+                        sim.state.as_stacked() - oracle.state.as_stacked()
+                    )
+                )
+            )
+            / scale
+        )
+        assert err == report.final_error_vs_oracle

@@ -93,13 +93,27 @@ def test_architecture_documents_the_parallel_backends():
 
 
 def test_readme_documents_environment_variables():
-    """The env-var table must cover both backend-selection knobs."""
+    """The env-var table must cover the backend- and precision-selection
+    knobs."""
     text = (REPO_ROOT / "README.md").read_text()
     assert "## Environment variables" in text, (
         "README.md lost its environment-variable table"
     )
-    for needle in ("REPRO_BACKEND", "REPRO_NUM_WORKERS"):
+    for needle in ("REPRO_BACKEND", "REPRO_NUM_WORKERS", "REPRO_DTYPE"):
         assert needle in text, f"README.md env-var table lost {needle!r}"
+
+
+def test_architecture_documents_the_precision_modes():
+    text = (REPO_ROOT / "ARCHITECTURE.md").read_text()
+    for needle in (
+        "Precision modes",
+        "PrecisionPolicy",
+        "REPRO_DTYPE",
+        "error_growth_report",
+        "accumulate_for",
+        "DesignPoint.precision",
+    ):
+        assert needle in text, f"ARCHITECTURE.md lost its {needle!r} coverage"
 
 
 def test_architecture_documents_the_cosim_extension():

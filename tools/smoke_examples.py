@@ -36,10 +36,14 @@ EXAMPLES_DIR = REPO_ROOT / "examples"
 
 #: Smoke-mode argv per example (small meshes, few steps).
 SMOKE_ARGS: dict[str, list[str]] = {
-    "quickstart.py": ["2", "3", "--backend", "procs", "--num-workers", "2"],
+    "quickstart.py": [
+        "2", "3", "--backend", "procs", "--num-workers", "2",
+        "--dtype", "float32",
+    ],
     "taylor_green_validation.py": [],
     "channel_flow.py": [
         "2", "4", "--backend", "threaded", "--num-workers", "2",
+        "--dtype", "mixed",
     ],
     "profile_breakdown.py": [
         "3", "2", "--backend", "threaded", "--num-workers", "2",
@@ -121,7 +125,8 @@ def example_declared_flags(script: Path) -> set[str]:
 
     Static AST walk over ``add_argument`` calls (no execution), plus
     the shared ``add_backend_argument`` / ``add_num_workers_argument``
-    helpers, which contribute ``--backend`` / ``--num-workers``.
+    / ``add_dtype_argument`` helpers, which contribute ``--backend`` /
+    ``--num-workers`` / ``--dtype``.
     """
     flags: set[str] = set()
     for node in ast.walk(ast.parse(script.read_text())):
@@ -143,6 +148,8 @@ def example_declared_flags(script: Path) -> set[str]:
             flags.add("--backend")
         elif name == "add_num_workers_argument":
             flags.add("--num-workers")
+        elif name == "add_dtype_argument":
+            flags.add("--dtype")
     return flags
 
 
