@@ -657,11 +657,14 @@ class CosimResult:
     trace: SimulationTrace
     analytic_cycles: float
     simulated_cycles: int
-    kinetic_energy: float
-    mass_drift: float
+    #: Functional-run diagnostics; ``None`` when the co-simulation ran
+    #: with ``verify=False`` (the checking solve was skipped).
+    kinetic_energy: float | None
+    mass_drift: float | None
     #: Max-norm relative error of the streamed residual against the
-    #: functional operator's, over all five conserved fields.
-    residual_max_rel_err: float
+    #: functional operator's, over all five conserved fields; ``None``
+    #: under ``verify=False``.
+    residual_max_rel_err: float | None
     #: Number of RKL compute units the element stream was sharded over.
     num_compute_units: int = 1
     #: Elements per simulated token (1 = element-at-a-time streaming).
@@ -690,6 +693,7 @@ def cosimulate_small_mesh(
     engine: str = "auto",
     num_workers: int | None = None,
     dtype: str | None = None,
+    verify: bool = True,
 ) -> CosimResult:
     """Run functional solve + payload-carrying cycle simulation on one mesh.
 
@@ -733,6 +737,13 @@ def cosimulate_small_mesh(
         Precision mode for both paths (``"float64"``, ``"float32"``,
         ``"mixed"``; ``None`` defers to ``REPRO_DTYPE``). Functional
         solve and streamed residual run under the same policy.
+    verify:
+        ``True`` (default) also runs the functional reference — the
+        operator residual the streamed result is checked against and the
+        ``num_steps`` solver run behind ``kinetic_energy`` /
+        ``mass_drift``. ``False`` skips that duplicate solve (the
+        streamed payloads compute identical values either way) and
+        leaves the three report fields ``None``.
 
     Returns
     -------
@@ -756,7 +767,6 @@ def cosimulate_small_mesh(
         num_workers=num_workers, dtype=dtype,
     )
     initial_stacked = sim.state.as_stacked()
-    expected = sim.operator.residual(initial_stacked)
     streamed, trace = streamed_residual(
         design,
         sim.operator,
@@ -765,12 +775,16 @@ def cosimulate_small_mesh(
         num_cus=num_cus,
         engine=engine,
     )
-    scale = float(np.abs(expected).max())
-    residual_err = float(np.abs(streamed - expected).max()) / (
-        scale if scale > 0.0 else 1.0
-    )
-
-    result = sim.run(num_steps)
+    residual_err = kinetic = drift = None
+    if verify:
+        expected = sim.operator.residual(initial_stacked)
+        scale = float(np.abs(expected).max())
+        residual_err = float(np.abs(streamed - expected).max()) / (
+            scale if scale > 0.0 else 1.0
+        )
+        result = sim.run(num_steps)
+        kinetic = result.records[-1].kinetic_energy
+        drift = result.mass_drift()
 
     nodes_per_cu = nodes_per_compute_unit(mesh.num_nodes, num_cus)
     analytic = max(
@@ -785,8 +799,8 @@ def cosimulate_small_mesh(
         trace=trace,
         analytic_cycles=analytic,
         simulated_cycles=trace.total_cycles,
-        kinetic_energy=result.records[-1].kinetic_energy,
-        mass_drift=result.mass_drift(),
+        kinetic_energy=kinetic,
+        mass_drift=drift,
         residual_max_rel_err=residual_err,
         num_compute_units=num_cus,
         block_size=block_size,
@@ -905,8 +919,10 @@ class RKStepCosimResult:
     dt: float
     num_stages: int
     #: Max-norm relative error of the streamed final state against the
-    #: functional :meth:`repro.solver.simulation.Simulation.step`.
-    state_max_rel_err: float
+    #: functional :meth:`repro.solver.simulation.Simulation.step`;
+    #: ``None`` when the run skipped the checking solve
+    #: (``verify=False``).
+    state_max_rel_err: float | None
     #: Per-RK-stage RKL cycles (first LOAD start to last STORE finish,
     #: max over compute units) on the shared clock; for a multi-step run
     #: the stage windows of every step, in step order
@@ -964,6 +980,7 @@ def cosimulate_rk_stage(
     engine: str = "auto",
     num_workers: int | None = None,
     dtype: str | None = None,
+    verify: bool = True,
 ) -> RKStepCosimResult:
     """Co-simulate one complete RK time step: RKL streamed into RKU.
 
@@ -1021,6 +1038,14 @@ def cosimulate_rk_stage(
         the accumulation dtype, matching the functional
         :meth:`~repro.solver.simulation.Simulation.step` under the same
         policy.
+    verify:
+        ``True`` (default) re-runs the step(s) through the functional
+        :meth:`~repro.solver.simulation.Simulation.step` and records the
+        max-norm state error. ``False`` skips that duplicate solve —
+        the streamed state is bitwise what the verified run streams, so
+        skipping the check only drops the ``state_max_rel_err`` report
+        (left ``None``). The DSE cosim tier runs with ``verify=False``;
+        the parity suite audits the checked path.
 
     Returns
     -------
@@ -1225,14 +1250,16 @@ def cosimulate_rk_stage(
     )
     trace = DataflowSimulator(merged).run(iterations, engine=engine)
 
-    # Functional reference: the very steps the solver would take.
-    for _ in range(num_steps):
-        sim.step(dt)
-    expected = sim.state.as_stacked()
-    scale = float(np.abs(expected).max())
-    state_err = float(np.abs(out_state - expected).max()) / (
-        scale if scale > 0.0 else 1.0
-    )
+    state_err = None
+    if verify:
+        # Functional reference: the very steps the solver would take.
+        for _ in range(num_steps):
+            sim.step(dt)
+        expected = sim.state.as_stacked()
+        scale = float(np.abs(expected).max())
+        state_err = float(np.abs(out_state - expected).max()) / (
+            scale if scale > 0.0 else 1.0
+        )
 
     per_stage = tuple(
         _chain_window_cycles(

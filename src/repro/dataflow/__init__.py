@@ -25,8 +25,11 @@ from .simulator import DataflowSimulator, SimulationTrace
 from .schedule import (
     GraphSchedule,
     TaskSchedule,
+    clear_schedule_cache,
     compute_schedule,
     normalize_iteration_counts,
+    schedule_cache_stats,
+    set_schedule_cache,
 )
 from .analysis import (
     theoretical_initiation_interval,
@@ -51,8 +54,11 @@ __all__ = [
     "SimulationTrace",
     "GraphSchedule",
     "TaskSchedule",
+    "clear_schedule_cache",
     "compute_schedule",
     "normalize_iteration_counts",
+    "schedule_cache_stats",
+    "set_schedule_cache",
     "theoretical_initiation_interval",
     "pipeline_fill_cycles",
     "steady_state_cycles",

@@ -46,7 +46,8 @@ sink results — asserted by the randomized parity harness in
 
 from __future__ import annotations
 
-from collections import deque
+import threading
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -175,6 +176,100 @@ class GraphSchedule:
         return {name: sched.stats() for name, sched in self.tasks.items()}
 
 
+# ---------------------------------------------------------------------------
+# Compiled-schedule cache
+# ---------------------------------------------------------------------------
+#
+# The streaming lowerings re-instantiate the *same* chain structure over
+# and over — every RK stage, every chained step, and every DSE point
+# sharing a (design, mesh, block size) signature rebuilds a graph whose
+# task names differ (``k1.s2.cu0.load`` vs ``k1.s3.cu0.load``) but whose
+# latency arrays, iteration counts, buffer edges and dependency edges
+# are identical. The solved schedule depends only on that structure:
+# names are labels, and the Kleene sweeps converge to the *least fixed
+# point* of the recurrences, which is unique regardless of sweep order.
+# So solved arrays are cached under a name-free structural signature and
+# rebound to the requesting graph's task names on a hit — bitwise the
+# same arrays a fresh solve would produce.
+
+_SCHEDULE_CACHE: OrderedDict[tuple, tuple] = OrderedDict()
+_SCHEDULE_CACHE_LOCK = threading.Lock()
+_SCHEDULE_CACHE_CAPACITY = 128
+_SCHEDULE_CACHE_ENABLED = True
+_schedule_cache_hits = 0
+_schedule_cache_misses = 0
+
+
+def set_schedule_cache(enabled: bool) -> bool:
+    """Enable/disable the compiled-schedule cache; returns the old state.
+
+    Disabling makes every :func:`compute_schedule` call solve afresh —
+    only useful for benchmarking the solve itself.
+    """
+    global _SCHEDULE_CACHE_ENABLED
+    previous = _SCHEDULE_CACHE_ENABLED
+    _SCHEDULE_CACHE_ENABLED = bool(enabled)
+    return previous
+
+
+def schedule_cache_stats() -> dict[str, int]:
+    """Hit/miss/entry counts of the compiled-schedule cache."""
+    with _SCHEDULE_CACHE_LOCK:
+        return {
+            "hits": _schedule_cache_hits,
+            "misses": _schedule_cache_misses,
+            "entries": len(_SCHEDULE_CACHE),
+        }
+
+
+def clear_schedule_cache() -> None:
+    """Drop every cached schedule and zero the hit/miss counters."""
+    global _schedule_cache_hits, _schedule_cache_misses
+    with _SCHEDULE_CACHE_LOCK:
+        _SCHEDULE_CACHE.clear()
+        _schedule_cache_hits = 0
+        _schedule_cache_misses = 0
+
+
+def _structure_key(
+    graph: DataflowGraph,
+    counts: dict[str, int],
+    lat: dict[str, np.ndarray],
+) -> tuple:
+    """Name-free structural signature of a (graph, counts) solve.
+
+    Tasks are identified by their position in the graph's (insertion-
+    ordered) task dict; buffers and dependencies become positional edge
+    tuples, sorted so the signature is independent of declaration order.
+    Latency arrays enter by value — they, the counts and the edges are
+    the only inputs the recurrences read.
+    """
+    index = {name: i for i, name in enumerate(graph.tasks)}
+    task_sig = tuple(
+        (
+            counts[name],
+            lat[name].dtype.str,
+            lat[name].tobytes(),
+            tuple(sorted(index[d] for d in graph.tasks[name].depends_on)),
+        )
+        for name in graph.tasks
+    )
+    buffer_sig = tuple(
+        sorted(
+            (index[b.producer], index[b.consumer], b.capacity)
+            for b in graph.buffers.values()
+        )
+    )
+    return (task_sig, buffer_sig)
+
+
+def _freeze(arrays: tuple[np.ndarray, ...]) -> tuple[np.ndarray, ...]:
+    """Mark solved arrays read-only so cache sharing stays safe."""
+    for arr in arrays:
+        arr.flags.writeable = False
+    return arrays
+
+
 def compute_schedule(
     graph: DataflowGraph, counts: dict[str, int]
 ) -> GraphSchedule:
@@ -194,11 +289,40 @@ def compute_schedule(
         Exact start/finish cycles — token-for-token what the event
         engine computes, in O(tasks) numpy passes per sweep.
     """
+    global _schedule_cache_hits, _schedule_cache_misses
     # Sweeping in buffer+dependency topological order resolves every
     # forward constraint in one pass; only backpressure (the one
     # backward-pointing constraint) needs extra sweeps.
     order = graph.topological_order(include_dependencies=True)
     lat = {name: graph.tasks[name].latency_array(counts[name]) for name in order}
+
+    # The latency arrays are needed regardless (they are the signature's
+    # bulk), so a cache hit skips exactly the fixed-point solve below.
+    key = None
+    if _SCHEDULE_CACHE_ENABLED:
+        key = _structure_key(graph, counts, lat)
+        with _SCHEDULE_CACHE_LOCK:
+            cached = _SCHEDULE_CACHE.get(key)
+            if cached is not None:
+                _SCHEDULE_CACHE.move_to_end(key)
+                _schedule_cache_hits += 1
+        if cached is not None:
+            return GraphSchedule(
+                graph_name=graph.name,
+                tasks={
+                    name: TaskSchedule(
+                        name=name,
+                        count=counts[name],
+                        latencies=lat[name],
+                        starts=s,
+                        finishes=f,
+                        input_ready=rin,
+                        output_ready=rout,
+                    )
+                    for name, (s, f, rin, rout) in zip(graph.tasks, cached)
+                },
+            )
+
     cum = {name: np.cumsum(lat[name]) for name in order}
     shift = {name: cum[name] - lat[name] for name in order}
 
@@ -260,6 +384,25 @@ def compute_schedule(
                 "and buffer backpressure cannot all be satisfied); "
                 f"stuck tasks: {', '.join(stuck)}"
             )
+
+    if key is not None:
+        entry = tuple(
+            _freeze(
+                (
+                    starts[name],
+                    finishes[name],
+                    ready_in[name],
+                    ready_out[name],
+                )
+            )
+            for name in graph.tasks
+        )
+        with _SCHEDULE_CACHE_LOCK:
+            _schedule_cache_misses += 1
+            _SCHEDULE_CACHE[key] = entry
+            _SCHEDULE_CACHE.move_to_end(key)
+            while len(_SCHEDULE_CACHE) > _SCHEDULE_CACHE_CAPACITY:
+                _SCHEDULE_CACHE.popitem(last=False)
 
     return GraphSchedule(
         graph_name=graph.name,

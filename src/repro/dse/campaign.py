@@ -212,6 +212,21 @@ class CampaignSpec:
         Pareto-front candidates promoted to the exact tier.
     max_cosim:
         Exact-tier survivors promoted to full co-simulation.
+    backend:
+        Compute backend for the cosim tier's streamed payloads
+        (``None`` defers to ``REPRO_BACKEND``, then the default). The
+        executor resolves it once
+        (:func:`repro.backend.resolve_backend_name`) and passes it
+        explicitly to every finalist evaluation, so the payload
+        ``_many`` kernels hit the selected backend's batched forms —
+        the timing tiers are backend-invariant (cycles price token
+        counts), so only evaluation wall-clock moves.
+    cosim_verify:
+        Whether the cosim tier also runs the redundant functional
+        checking solve per finalist. Off by default: the streamed state
+        is bitwise identical either way, and the parity suite audits
+        the checked path, so campaigns skip it for speed. Turning it on
+        records ``state_max_rel_err`` on each finalist's result.
     """
 
     name: str
@@ -219,12 +234,23 @@ class CampaignSpec:
     base: DesignPoint = DesignPoint()
     max_survivors: int = 8
     max_cosim: int = 4
+    backend: str | None = None
+    cosim_verify: bool = False
 
     def __post_init__(self) -> None:
         if not self.name:
             raise DSEError("campaign needs a name")
         if self.max_survivors < 1 or self.max_cosim < 1:
             raise DSEError("max_survivors and max_cosim must be >= 1")
+        if self.backend is not None:
+            from ..backend import available_backends
+
+            known = available_backends()
+            if str(self.backend).strip().lower() not in known:
+                raise DSEError(
+                    f"unknown campaign backend {self.backend!r}; "
+                    f"available: {', '.join(known)}"
+                )
         point_fields = {field.name for field in fields(DesignPoint)}
         seen: set[str] = set()
         for axis_name, values in self.axes:
@@ -247,6 +273,8 @@ class CampaignSpec:
             "base": self.base.spec(),
             "max_survivors": self.max_survivors,
             "max_cosim": self.max_cosim,
+            "backend": self.backend,
+            "cosim_verify": self.cosim_verify,
         }
 
     def expand(

@@ -30,6 +30,7 @@ import threading
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
+from ..backend import resolve_backend_name
 from ..errors import DSEError
 from .cache import CacheStats, ResultCache, cache_key
 from .campaign import CampaignSpec, DesignPoint
@@ -56,11 +57,11 @@ def _pool_context():
 def _evaluate_batch(args):
     """Pool worker: price one index-tagged batch, persist to the shared
     cache directory when one is configured."""
-    index, points, tier, cache_dir = args
+    index, points, tier, cache_dir, options = args
     cache = ResultCache(cache_dir) if cache_dir is not None else None
     results = []
     for point in points:
-        result = evaluate_point(point, tier)
+        result = evaluate_point(point, tier, **options)
         if cache is not None:
             cache.store(point, tier, result)
         results.append(result)
@@ -148,14 +149,18 @@ def _evaluate_tier(
     cache: ResultCache | None,
     workers: int,
     chunk_size: int,
+    options: dict | None = None,
 ) -> list[PointResult]:
     """Price points at one tier, cache-first, optionally pooled.
 
     The parent resolves every cache hit up front and ships only the
     misses to the pool; worker batches come back index-tagged and slot
     into the campaign-order result list, so merge order never depends
-    on scheduling.
+    on scheduling. ``options`` are forwarded to
+    :func:`~repro.dse.tiers.evaluate_point` (the cosim tier's backend /
+    verify configuration).
     """
+    options = options or {}
     results: list[PointResult | None] = [None] * len(points)
     missing: list[tuple[int, DesignPoint]] = []
     for index, point in enumerate(points):
@@ -167,7 +172,7 @@ def _evaluate_tier(
 
     if missing and (workers <= 1 or len(missing) == 1):
         for index, point in missing:
-            result = evaluate_point(point, tier)
+            result = evaluate_point(point, tier, **options)
             if cache is not None:
                 cache.store(point, tier, result)
             results[index] = result
@@ -181,7 +186,7 @@ def _evaluate_tier(
             for start in range(0, len(missing), chunk_size)
         ]
         jobs = [
-            (ci, [point for _, point in chunk], tier, cache_dir)
+            (ci, [point for _, point in chunk], tier, cache_dir, options)
             for ci, chunk in enumerate(chunks)
         ]
         with ProcessPoolExecutor(
@@ -277,7 +282,18 @@ def run_campaign(
     by_point_exact = {r.point: r for r in result.survivors}
     finalists = sorted(result.survivors, key=lambda r: r.step_cycles)
     promoted = [r.point for r in finalists[: spec.max_cosim]]
-    result.cosim = _evaluate_tier(promoted, "cosim", cache, 1, chunk_size)
+    # The finalists' payload execution is configured by the spec: the
+    # backend is resolved HERE (explicit > REPRO_BACKEND > default) so
+    # the streamed ``_many`` kernels hit the chosen backend's batched
+    # forms instead of inheriting the module default, and the redundant
+    # functional checking solve runs only when the campaign asks for it.
+    cosim_options = {
+        "backend": resolve_backend_name(spec.backend),
+        "verify": spec.cosim_verify,
+    }
+    result.cosim = _evaluate_tier(
+        promoted, "cosim", cache, 1, chunk_size, cosim_options
+    )
     for cosim in result.cosim:
         result.agreement.append(
             AgreementCheck(

@@ -259,7 +259,13 @@ def evaluate_exact(point: DesignPoint) -> PointResult:
     )
 
 
-def evaluate_cosim(point: DesignPoint) -> PointResult:
+def evaluate_cosim(
+    point: DesignPoint,
+    *,
+    backend: str | None = None,
+    num_workers: int | None = None,
+    verify: bool = True,
+) -> PointResult:
     """Tier 3: full payload-carrying co-simulation of the RK step(s).
 
     Streams the point's actual mesh through the lowered graphs
@@ -270,6 +276,14 @@ def evaluate_cosim(point: DesignPoint) -> PointResult:
     payloads run under that mode (the timing tiers are
     precision-invariant — cycles price token counts, not dtypes — so
     only this tier's recorded state error moves with it).
+
+    ``backend`` selects the compute backend the streamed payload
+    actions run on (``None`` defers to ``REPRO_BACKEND``/default) —
+    cycles are backend-invariant, only wall-clock moves. ``verify``
+    controls the redundant functional checking solve; with ``False``
+    the result's ``state_max_rel_err`` is ``None``
+    (:func:`run_campaign <repro.dse.executor.run_campaign>` passes the
+    campaign's ``cosim_verify``, off by default).
     """
     design = design_for(point)
     mesh = point.mesh()
@@ -283,12 +297,15 @@ def evaluate_cosim(point: DesignPoint) -> PointResult:
     result = cosimulate_rk_stage(
         design,
         mesh,
+        backend=backend,
         case=case,
         initial_state=initial,
         block_size=point.block_size,
         partitions=point.element_partitions(),
         num_steps=point.num_steps,
+        num_workers=num_workers,
         dtype=point.precision,
+        verify=verify,
     )
     rkl_stage = sum(result.per_stage_rkl_cycles) / len(
         result.per_stage_rkl_cycles
@@ -309,8 +326,19 @@ _EVALUATORS = {
 }
 
 
-def evaluate_point(point: DesignPoint, tier: str) -> PointResult:
+def evaluate_point(
+    point: DesignPoint,
+    tier: str,
+    *,
+    backend: str | None = None,
+    num_workers: int | None = None,
+    verify: bool = True,
+) -> PointResult:
     """Price one point at one tier.
+
+    ``backend`` / ``num_workers`` / ``verify`` configure the cosim
+    tier's payload execution (see :func:`evaluate_cosim`); the timing
+    tiers ignore them — cycles price token counts, not kernels.
 
     Raises :class:`~repro.errors.DSEError` on an unknown tier or an
     infeasible point.
@@ -324,6 +352,10 @@ def evaluate_point(point: DesignPoint, tier: str) -> PointResult:
     reason = point.infeasibility()
     if reason is not None:
         raise DSEError(f"cannot evaluate infeasible point: {reason}")
+    if tier == "cosim":
+        return evaluator(
+            point, backend=backend, num_workers=num_workers, verify=verify
+        )
     return evaluator(point)
 
 

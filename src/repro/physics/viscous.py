@@ -10,9 +10,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import PhysicsError
+from .workspace import WorkspacePool
 
 
-def stress_tensor(grad_u: np.ndarray, viscosity: float) -> np.ndarray:
+def stress_tensor(
+    grad_u: np.ndarray,
+    viscosity: float,
+    pool: WorkspacePool | None = None,
+) -> np.ndarray:
     """Viscous stress from the velocity gradient.
 
     Parameters
@@ -21,6 +26,11 @@ def stress_tensor(grad_u: np.ndarray, viscosity: float) -> np.ndarray:
         ``(..., 3, 3)`` with ``grad_u[..., i, j] = du_i / dx_j``.
     viscosity:
         Dynamic viscosity ``mu``.
+    pool:
+        Optional workspace pool; when given, the symmetrized gradient
+        and the returned tensor live in reused buffers (same operations,
+        bitwise-identical values — the caller must consume the result
+        before its next same-shape call).
 
     Returns
     -------
@@ -30,8 +40,14 @@ def stress_tensor(grad_u: np.ndarray, viscosity: float) -> np.ndarray:
     if grad_u.shape[-2:] != (3, 3):
         raise PhysicsError(f"grad_u must end in (3, 3), got {grad_u.shape}")
     div_u = np.trace(grad_u, axis1=-2, axis2=-1)
-    sym = grad_u + np.swapaxes(grad_u, -1, -2)
-    tau = viscosity * sym
+    if pool is None:
+        sym = grad_u + np.swapaxes(grad_u, -1, -2)
+        tau = viscosity * sym
+    else:
+        sym = pool.get("viscous.sym", grad_u.shape, grad_u.dtype)
+        np.add(grad_u, np.swapaxes(grad_u, -1, -2), out=sym)
+        tau = pool.get("viscous.tau", grad_u.shape, grad_u.dtype)
+        np.multiply(viscosity, sym, out=tau)
     idx = np.arange(3)
     tau[..., idx, idx] -= (2.0 / 3.0) * viscosity * div_u[..., None]
     return tau

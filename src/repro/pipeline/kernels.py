@@ -16,7 +16,7 @@ the backend is the *how*.
 from __future__ import annotations
 
 from collections.abc import Callable
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -32,6 +32,7 @@ from ..physics.fluxes import (
 )
 from ..physics.gas import GasProperties
 from ..physics.state import NUM_CONSERVED
+from ..physics.workspace import WorkspacePool
 from .ir import Stage
 
 KernelFn = Callable[..., tuple[np.ndarray, ...]]
@@ -71,6 +72,11 @@ class PipelineContext:
     ref: ReferenceHex
     gas: GasProperties
     backend: KernelBackend
+    #: Scratch buffers for the flux kernels' per-stage temporaries.
+    #: Element/block views share the parent's pool (``replace`` copies
+    #: the reference), so one solve reuses the same workspaces across
+    #: every stage, step and streamed block.
+    workspace: WorkspacePool = field(default_factory=WorkspacePool)
 
     @classmethod
     def from_operator(cls, operator) -> "PipelineContext":
@@ -165,7 +171,7 @@ def _viscous_flux_set(
     grads = ctx.backend.physical_gradient_many(fields, ctx.geom, ctx.ref)
     grad_u = np.moveaxis(grads[:3], 0, 2)  # (E, Q, i, j) = du_i/dx_j
     grad_t = grads[3]
-    return viscous_fluxes(velocity, grad_u, grad_t, ctx.gas)
+    return viscous_fluxes(velocity, grad_u, grad_t, ctx.gas, ctx.workspace)
 
 
 def _stack_viscous(fluxes: FluxSet) -> np.ndarray:
@@ -206,7 +212,11 @@ def _convective_flux(ctx: PipelineContext, stage: Stage, state_elem: np.ndarray)
     rho, velocity, pressure, _temperature, total_energy = element_primitives(
         state_elem, ctx.gas
     )
-    return (convective_fluxes(rho, velocity, pressure, total_energy).stacked(),)
+    return (
+        convective_fluxes(
+            rho, velocity, pressure, total_energy, ctx.workspace
+        ).stacked(),
+    )
 
 
 @register_pipeline_kernel("viscous_flux")
@@ -233,9 +243,11 @@ def _combined_flux(ctx: PipelineContext, stage: Stage, state_elem: np.ndarray):
     rho, velocity, pressure, temperature, total_energy = element_primitives(
         state_elem, ctx.gas
     )
-    conv = convective_fluxes(rho, velocity, pressure, total_energy)
+    conv = convective_fluxes(
+        rho, velocity, pressure, total_energy, ctx.workspace
+    )
     visc = _viscous_flux_set(ctx, velocity, temperature)
-    return (combined_rhs_fluxes(conv, visc).stacked(),)
+    return (combined_rhs_fluxes(conv, visc, ctx.workspace).stacked(),)
 
 
 @register_pipeline_kernel("weak_divergence")

@@ -453,17 +453,37 @@ def rk_update_streaming_actions(
         "store_node_primitives": out_primitives,
     }
 
-    def run_group(block, stages, exported, role, inputs, first: bool):
+    # The batched form concatenates the same block prefix for every role
+    # group — share it per token count, and remember when it covers the
+    # whole node range in order (the streaming default) so groups that
+    # do not export node slices can use one basic slice instead of a
+    # fancy-index pass. The LOAD group always slices through the index
+    # array: its pass-through exports are payloads and must stay fresh
+    # copies, never views of the caller's arrays.
+    batch_block_cache: dict[int, tuple[np.ndarray, bool]] = {}
+
+    def batch_block(count: int) -> tuple[np.ndarray, bool]:
+        if count not in batch_block_cache:
+            block = np.concatenate(blocks[:count])
+            identity = block.size == state.shape[1] and np.array_equal(
+                block, np.arange(block.size)
+            )
+            batch_block_cache[count] = (block, bool(identity))
+        return batch_block_cache[count]
+
+    def run_group(block, stages, exported, role, inputs, needed, first):
         """Execute one role group on ``block`` (a token's nodes or the
         concatenation of all tokens); dict of exports."""
         if role == "load" and first and prepare is not None:
             prepare()
-        env: dict[str, object] = {
-            "state": state[:, block],
-            "derivs": [deriv[:, block] for deriv in derivs],
-            "coeffs": coeffs,
-            "dt": dt,
-        }
+        # Only the slices this group's stages actually read are
+        # materialized — downstream groups receive the loaded node
+        # payloads through the simulated buffers, not from here.
+        env: dict[str, object] = {"coeffs": coeffs, "dt": dt}
+        if "state" in needed:
+            env["state"] = state[:, block]
+        if "derivs" in needed:
+            env["derivs"] = [deriv[:, block] for deriv in derivs]
         for payload in inputs:
             env.update(payload)
         if role == "store":
@@ -482,6 +502,9 @@ def rk_update_streaming_actions(
 
     actions: dict[str, Callable[[int, tuple], object]] = {}
     for role, stages, exported in role_group_exports(pipeline):
+        needed = frozenset(
+            name for stage in stages for name in stage.inputs
+        )
 
         def action(
             iteration: int,
@@ -489,9 +512,10 @@ def rk_update_streaming_actions(
             stages=stages,
             exported=exported,
             role=role,
+            needed=needed,
         ):
             return run_group(
-                blocks[iteration], stages, exported, role, inputs,
+                blocks[iteration], stages, exported, role, inputs, needed,
                 first=iteration == 0,
             )
 
@@ -501,10 +525,13 @@ def rk_update_streaming_actions(
             stages=stages,
             exported=exported,
             role=role,
+            needed=needed,
         ):
-            block = np.concatenate(blocks[:count])
+            block, identity = batch_block(count)
+            if identity and role != "load":
+                block = slice(None)
             result = run_group(
-                block, stages, exported, role, inputs, first=True
+                block, stages, exported, role, inputs, needed, first=True
             )
             if role == "store":
                 return [None] * count  # per-token sink values

@@ -1,0 +1,183 @@
+"""Compiled-schedule cache: structural hits, exact arrays, accounting.
+
+The cache keys solved schedules by a name-free structural signature
+(iteration counts, latency arrays, buffer/dependency edges as positional
+tuples) — two graphs that differ only in task names share one solve,
+while any structural difference (a latency value, a count, a buffer
+capacity, a ``depends_on`` edge) must miss. A hit's rebound schedule is
+bitwise what a fresh solve produces.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dataflow.buffer import fifo, pipo
+from repro.dataflow.graph import DataflowGraph
+from repro.dataflow.schedule import (
+    clear_schedule_cache,
+    compute_schedule,
+    normalize_iteration_counts,
+    schedule_cache_stats,
+    set_schedule_cache,
+)
+from repro.dataflow.task import Task
+from repro.errors import DeadlockError
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Each test starts (and leaves) the cache empty with zero counters."""
+    clear_schedule_cache()
+    yield
+    clear_schedule_cache()
+
+
+def chain_graph(name, prefix, latencies, capacity=2):
+    """A linear chain with the given per-task latencies."""
+    g = DataflowGraph(name)
+    tasks = [
+        Task(f"{prefix}.t{i}", lat) for i, lat in enumerate(latencies)
+    ]
+    for task in tasks:
+        g.add_task(task)
+    for i in range(1, len(tasks)):
+        g.add_buffer(
+            fifo(f"{prefix}.b{i}", tasks[i - 1].name, tasks[i].name, capacity)
+        )
+    return g
+
+
+def schedule_arrays(schedule):
+    return {
+        name: (t.starts.copy(), t.finishes.copy())
+        for name, t in schedule.tasks.items()
+    }
+
+
+class TestStructuralHits:
+    def test_same_structure_different_names_hits(self):
+        a = chain_graph("ga", "a", [3, 5, 2])
+        b = chain_graph("gb", "b", [3, 5, 2])
+        sched_a = compute_schedule(a, normalize_iteration_counts(a, 8))
+        sched_b = compute_schedule(b, normalize_iteration_counts(b, 8))
+        stats = schedule_cache_stats()
+        assert stats == {"hits": 1, "misses": 1, "entries": 1}
+        # Names rebound, arrays identical.
+        assert list(sched_b.tasks) == ["b.t0", "b.t1", "b.t2"]
+        for ta, tb in zip(sched_a.tasks.values(), sched_b.tasks.values()):
+            assert np.array_equal(ta.starts, tb.starts)
+            assert np.array_equal(ta.finishes, tb.finishes)
+        assert sched_a.total_cycles == sched_b.total_cycles
+
+    def test_hit_matches_uncached_solve_bitwise(self):
+        g1 = chain_graph("g1", "x", [4, 1, 7, 2], capacity=1)
+        counts = normalize_iteration_counts(g1, 16)
+        compute_schedule(g1, counts)  # prime
+        hit = compute_schedule(chain_graph("g2", "x", [4, 1, 7, 2], 1), counts)
+        assert schedule_cache_stats()["hits"] == 1
+
+        set_schedule_cache(False)
+        try:
+            fresh = compute_schedule(g1, counts)
+        finally:
+            set_schedule_cache(True)
+        for name in g1.tasks:
+            assert np.array_equal(hit.tasks[name].starts, fresh.tasks[name].starts)
+            assert np.array_equal(
+                hit.tasks[name].finishes, fresh.tasks[name].finishes
+            )
+            assert hit.tasks[name].stats() == fresh.tasks[name].stats()
+
+    def test_repeated_solves_hit_every_time(self):
+        g = chain_graph("g", "t", [2, 3])
+        counts = normalize_iteration_counts(g, 4)
+        for _ in range(5):
+            compute_schedule(g, counts)
+        stats = schedule_cache_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 4
+        assert stats["entries"] == 1
+
+
+class TestStructuralMisses:
+    def test_distinct_structures_miss(self):
+        base = chain_graph("base", "t", [3, 5, 2])
+        counts = normalize_iteration_counts(base, 8)
+        compute_schedule(base, counts)
+
+        # Different latency value.
+        compute_schedule(chain_graph("lat", "t", [3, 6, 2]), counts)
+        # Different iteration count.
+        compute_schedule(base, normalize_iteration_counts(base, 9))
+        # Different buffer capacity.
+        compute_schedule(chain_graph("cap", "t", [3, 5, 2], capacity=1), counts)
+        stats = schedule_cache_stats()
+        assert stats["misses"] == 4
+        assert stats["hits"] == 0
+        assert stats["entries"] == 4
+
+    def test_depends_on_edge_changes_signature(self):
+        plain = DataflowGraph("plain")
+        plain.add_task(Task("a", 5))
+        plain.add_task(Task("b", 3))
+        plain.add_buffer(pipo("ab", "a", "b"))
+        plain.add_task(Task("c", 2))
+        counts = normalize_iteration_counts(plain, 6)
+        compute_schedule(plain, counts)
+
+        gated = DataflowGraph("gated")
+        gated.add_task(Task("a", 5))
+        gated.add_task(Task("b", 3))
+        gated.add_buffer(pipo("ab", "a", "b"))
+        gated.add_task(Task("c", 2, depends_on=("b",)))
+        sched = compute_schedule(gated, counts)
+        stats = schedule_cache_stats()
+        assert stats["misses"] == 2
+        assert stats["hits"] == 0
+        # The gate is real: c starts only after b fully drains.
+        assert int(sched.tasks["c"].starts[0]) >= int(
+            sched.tasks["b"].finishes[-1]
+        )
+
+
+class TestCacheControls:
+    def test_disabled_cache_records_nothing(self):
+        g = chain_graph("g", "t", [2, 3])
+        counts = normalize_iteration_counts(g, 4)
+        previous = set_schedule_cache(False)
+        try:
+            assert previous is True
+            compute_schedule(g, counts)
+            compute_schedule(g, counts)
+        finally:
+            set_schedule_cache(True)
+        assert schedule_cache_stats() == {"hits": 0, "misses": 0, "entries": 0}
+
+    def test_clear_resets_counters_and_entries(self):
+        g = chain_graph("g", "t", [2, 3])
+        counts = normalize_iteration_counts(g, 4)
+        compute_schedule(g, counts)
+        compute_schedule(g, counts)
+        assert schedule_cache_stats()["entries"] == 1
+        clear_schedule_cache()
+        assert schedule_cache_stats() == {"hits": 0, "misses": 0, "entries": 0}
+        compute_schedule(g, counts)
+        assert schedule_cache_stats()["misses"] == 1
+
+    def test_deadlocks_are_not_cached(self):
+        # Acyclic in buffer+dependency edges, yet unschedulable: b's
+        # gate needs ALL of c, c needs a's stream, and a blocks on the
+        # full capacity-1 buffer to the never-starting b.
+        g = DataflowGraph("dead")
+        g.add_task(Task("a", 2))
+        g.add_task(Task("c", 3))
+        g.add_task(Task("b", 1, depends_on=("c",)))
+        g.add_buffer(fifo("ab", "a", "b", 1))
+        g.add_buffer(fifo("ac", "a", "c", 1))
+        counts = normalize_iteration_counts(g, 4)
+        for _ in range(2):
+            with pytest.raises(DeadlockError):
+                compute_schedule(g, counts)
+        stats = schedule_cache_stats()
+        assert stats["entries"] == 0
+        assert stats["hits"] == 0

@@ -1,5 +1,7 @@
 """Campaign execution: the ladder, the pool, the cache, the async API."""
 
+import dataclasses
+
 import pytest
 
 from repro.dse import (
@@ -105,6 +107,57 @@ def test_campaign_result_to_dict_is_json_ready(tmp_path):
     payload = json.dumps(result.to_dict())
     assert "pareto_front" in payload
     assert result.to_dict()["cache"]["misses"] == cache.stats.misses
+
+
+def test_campaign_backend_and_verify_configure_the_cosim_tier(monkeypatch):
+    """A campaign's ``backend`` reaches the finalists' payload kernels
+    and its ``cosim_verify`` (off by default) skips the checking solve
+    without moving any priced cycle."""
+    from repro.backend.fast import FastBackend
+
+    calls = {"weak_divergence_many": 0}
+    original = FastBackend.weak_divergence_many
+
+    def spy(self, *args, **kwargs):
+        calls["weak_divergence_many"] += 1
+        return original(self, *args, **kwargs)
+
+    monkeypatch.setattr(FastBackend, "weak_divergence_many", spy)
+
+    spec = dataclasses.replace(SPEC, name="exec-fast", backend="fast")
+    routed = run_campaign(spec, highest_tier="cosim")
+    assert calls["weak_divergence_many"] > 0
+    assert routed.violations == []
+    assert all(r.state_max_rel_err is None for r in routed.cosim)
+
+    baseline = run_campaign(SPEC, highest_tier="cosim")
+    assert [r.step_cycles for r in routed.cosim] == [
+        r.step_cycles for r in baseline.cosim
+    ]
+
+    payload = spec.spec()
+    assert payload["backend"] == "fast"
+    assert payload["cosim_verify"] is False
+
+
+def test_campaign_verify_on_records_the_state_error():
+    spec = dataclasses.replace(
+        SPEC, name="exec-verified", max_cosim=1, cosim_verify=True
+    )
+    result = run_campaign(spec, highest_tier="cosim")
+    assert result.violations == []
+    for cosim in result.cosim:
+        assert cosim.state_max_rel_err is not None
+        assert cosim.state_max_rel_err < 1e-12
+
+
+def test_campaign_rejects_unknown_backend():
+    with pytest.raises(DSEError, match="unknown campaign backend"):
+        CampaignSpec(
+            name="bad-backend",
+            axes=(("num_cus", (1,)),),
+            backend="gpu",
+        )
 
 
 def test_invalid_arguments():

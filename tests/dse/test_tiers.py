@@ -136,3 +136,61 @@ def test_point_result_roundtrips_through_dict():
     assert back == fresh
     with pytest.raises(DSEError, match="malformed"):
         PointResult.from_dict({"tier": "closed-form"})
+
+
+def _spy_on_fast_many_kernels(monkeypatch):
+    """Count calls to the fast backend's batched ``_many`` kernels."""
+    from repro.backend.fast import FastBackend
+
+    calls = {"physical_gradient_many": 0, "weak_divergence_many": 0}
+    for kernel in calls:
+        original = getattr(FastBackend, kernel)
+
+        def spy(self, *args, _orig=original, _kernel=kernel, **kwargs):
+            calls[_kernel] += 1
+            return _orig(self, *args, **kwargs)
+
+        monkeypatch.setattr(FastBackend, kernel, spy)
+    return calls
+
+
+def test_cosim_tier_routes_to_the_requested_backend(monkeypatch):
+    """Regression: the cosim rung must pass its backend through to the
+    payload execution — it used to inherit the module default, so the
+    streamed ``_many`` kernels never hit the selected backend's batched
+    forms no matter what the campaign asked for."""
+    calls = _spy_on_fast_many_kernels(monkeypatch)
+    point = DesignPoint(polynomial_order=2, elements_per_direction=2)
+    result = evaluate_point(point, "cosim", backend="fast", verify=False)
+    assert result.tier == "cosim"
+    assert calls["physical_gradient_many"] > 0
+    assert calls["weak_divergence_many"] > 0
+
+
+def test_cosim_tier_default_backend_stays_reference(monkeypatch):
+    calls = _spy_on_fast_many_kernels(monkeypatch)
+    point = DesignPoint(polynomial_order=2, elements_per_direction=2)
+    evaluate_cosim(point, verify=False)
+    assert calls["physical_gradient_many"] == 0
+    assert calls["weak_divergence_many"] == 0
+
+
+def test_cosim_tier_verify_switch_controls_the_error_field():
+    point = DesignPoint(polynomial_order=2, elements_per_direction=2)
+    fast = evaluate_point(point, "cosim", verify=False)
+    assert fast.state_max_rel_err is None
+    checked = evaluate_point(point, "cosim", verify=True)
+    assert checked.state_max_rel_err is not None
+    # The skipped check changes nothing the tiers price.
+    assert fast.step_cycles == checked.step_cycles
+    assert fast.rkl_stage_cycles == checked.rkl_stage_cycles
+    assert fast.rku_step_cycles == checked.rku_step_cycles
+
+
+def test_timing_tiers_ignore_cosim_options():
+    point = DesignPoint(elements_per_direction=2)
+    default = evaluate_point(point, "closed-form")
+    routed = evaluate_point(
+        point, "closed-form", backend="fast", verify=False
+    )
+    assert routed == default

@@ -116,6 +116,30 @@ def test_architecture_documents_the_precision_modes():
         assert needle in text, f"ARCHITECTURE.md lost its {needle!r} coverage"
 
 
+def test_architecture_documents_the_execution_caches():
+    text = (REPO_ROOT / "ARCHITECTURE.md").read_text()
+    for needle in (
+        "Execution caches & the verify switch",
+        "planned_einsum",
+        "set_einsum_path_cache",
+        "WorkspacePool",
+        "set_schedule_cache",
+        "schedule_cache_stats",
+        "CampaignSpec.backend",
+        "cosim_verify",
+        "verify=True",
+    ):
+        assert needle in text, f"ARCHITECTURE.md lost its {needle!r} coverage"
+
+
+def test_readme_documents_the_cosim_fast_path_knobs():
+    """The front door must advertise the verify switch and the campaign
+    backend routing that buy the PR-9 floor."""
+    text = (REPO_ROOT / "README.md").read_text()
+    for needle in ("--no-verify", "cosim_verify", 'backend="fast"'):
+        assert needle in text, f"README.md lost its {needle!r} coverage"
+
+
 def test_architecture_documents_the_cosim_extension():
     text = (REPO_ROOT / "ARCHITECTURE.md").read_text()
     for needle in (

@@ -53,7 +53,7 @@ SMOKE_ARGS: dict[str, list[str]] = {
     "functional_cosim.py": [
         "2", "3", "--block-size", "4", "--num-cus", "2", "--full-step",
         "--num-steps", "2", "--engine", "vectorized",
-        "--backend", "threaded", "--num-workers", "2",
+        "--backend", "threaded", "--num-workers", "2", "--no-verify",
     ],
     "dse_campaign.py": [
         "--orders", "2", "--meshes", "2,3", "--blocks", "1,2",
