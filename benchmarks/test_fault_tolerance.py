@@ -1,0 +1,227 @@
+"""Fault-tolerant campaign execution: supervision overhead floors (PR 10).
+
+The supervised pool (per-batch deadlines, dead-worker respawn, retry
+with backoff, quarantine) replaced the bare ``ProcessPoolExecutor``
+sweep. Robustness must not tax the happy path, so this benchmark
+enforces:
+
+* **Supervision overhead** — a fault-free 960-point closed-form sweep
+  under the supervised pool must cost at most ``MAX_OVERHEAD`` more
+  wall time than an inline reconstruction of the old unsupervised
+  ``ProcessPoolExecutor`` sweep over the identical chunked workload.
+* **Recovery works at scale** — the same sweep with two injected
+  worker crashes still completes with zero casualties and results
+  identical to the fault-free run; the recovered wall time is recorded.
+
+The headline numbers are written to ``BENCH_pr10.json`` and uploaded as
+a CI artifact for trend tracking.
+
+Run with ``python -m pytest benchmarks/test_fault_tolerance.py -v -s``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.dse import (
+    CampaignSpec,
+    RetryPolicy,
+    prewarm_designs,
+    run_campaign,
+)
+from repro.dse.pareto import pareto_front
+from repro.dse.tiers import evaluate_point
+from repro.testing import FaultSpec, injected_faults, seeded_contexts
+
+#: Same paper-scale grid as BENCH_pr6: 1152 raw points, 960 feasible.
+CAMPAIGN = CampaignSpec(
+    name="bench-pr10",
+    axes=(
+        ("polynomial_order", (2, 3)),
+        ("elements_per_direction", (2, 3)),
+        ("block_size", (1, 2, 4, 8)),
+        ("num_cus", (1, 2, 4)),
+        ("device", ("u200", "hbm")),
+        ("fusion", ("none", "gather", "full")),
+        ("partition", ("balanced", "contiguous")),
+        ("num_steps", (1, 2)),
+    ),
+)
+
+MIN_GRID_POINTS = 500
+#: Supervised / unsupervised wall-time ratio ceiling (the <= 10% bar).
+MAX_OVERHEAD = 1.10
+WORKERS = 4
+CHUNK = 32
+REPEATS = 2
+RETRY = RetryPolicy(max_retries=2, batch_timeout=120.0, backoff_base=0.01)
+
+ARTIFACT_PATH = Path(__file__).resolve().parent / "BENCH_pr10.json"
+
+
+def _baseline_chunk(batch):
+    """One unsupervised worker task: price a chunk, return the results.
+
+    This is the PR-9 execution model the supervised pool replaced: no
+    deadlines, no respawn, no retry — a single crash would take the
+    whole sweep down.
+    """
+    return [evaluate_point(point, "closed-form") for point in batch]
+
+
+def _baseline_sweep(points):
+    """The old bare-``ProcessPoolExecutor`` sweep, reconstructed inline
+    for an apples-to-apples timing: same chunking, same per-point
+    evaluation, same front computation — minus all supervision."""
+    batches = [
+        points[start : start + CHUNK]
+        for start in range(0, len(points), CHUNK)
+    ]
+    with ProcessPoolExecutor(max_workers=WORKERS) as pool:
+        results = [r for chunk in pool.map(_baseline_chunk, batches) for r in chunk]
+    return results, pareto_front(results)
+
+
+@pytest.fixture(scope="module")
+def points():
+    feasible, _ = CAMPAIGN.expand()
+    assert len(feasible) >= MIN_GRID_POINTS
+    # Both sweeps fork workers that inherit the prewarmed design cache,
+    # so the timings measure sweep execution, not design elaboration.
+    prewarm_designs(feasible)
+    return feasible
+
+
+@pytest.fixture(scope="module")
+def timings(points):
+    """Best-of-N wall times for the unsupervised baseline and the
+    supervised campaign over the identical workload."""
+    baseline_seconds, supervised_seconds = [], []
+    supervised = baseline = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        baseline = _baseline_sweep(points)
+        baseline_seconds.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        supervised = run_campaign(
+            CAMPAIGN,
+            workers=WORKERS,
+            highest_tier="closed-form",
+            chunk_size=CHUNK,
+            retry=RETRY,
+        )
+        supervised_seconds.append(time.perf_counter() - start)
+    return {
+        "baseline_seconds": min(baseline_seconds),
+        "supervised_seconds": min(supervised_seconds),
+        "baseline": baseline,
+        "supervised": supervised,
+    }
+
+
+@pytest.fixture(scope="module")
+def recovery(points, timings):
+    """The same sweep with two seed-chosen worker crashes injected."""
+    num_batches = -(-len(points) // CHUNK)
+    crash_batches = seeded_contexts(
+        seed=1093, population=num_batches, count=2
+    )
+    plan = [
+        FaultSpec(site="dse.worker", kind="crash", at=(batch,))
+        for batch in crash_batches
+    ]
+    with injected_faults(*plan) as active:
+        start = time.perf_counter()
+        result = run_campaign(
+            CAMPAIGN,
+            workers=WORKERS,
+            highest_tier="closed-form",
+            chunk_size=CHUNK,
+            retry=RETRY,
+        )
+        seconds = time.perf_counter() - start
+    assert active.total_fired() == 2, "both crashes must actually fire"
+    return {
+        "result": result,
+        "seconds": seconds,
+        "crash_batches": sorted(crash_batches),
+    }
+
+
+def test_supervised_matches_baseline_results(timings):
+    """Supervision must be numerically invisible: identical per-point
+    pricing and identical Pareto front."""
+    base_results, base_front = timings["baseline"]
+    supervised = timings["supervised"]
+    assert [r.to_dict() for r in supervised.results] == [
+        r.to_dict() for r in base_results
+    ]
+    assert [r.point for r in supervised.front] == [
+        r.point for r in base_front
+    ]
+    assert not supervised.failures
+
+
+def test_supervision_overhead_floor(timings):
+    """The <= 10% bar: fault-free supervised sweep vs the bare
+    ProcessPoolExecutor reconstruction of the pre-supervision path."""
+    overhead = timings["supervised_seconds"] / timings["baseline_seconds"]
+    print()
+    print(
+        f"unsupervised {timings['baseline_seconds']:.2f}s -> supervised "
+        f"{timings['supervised_seconds']:.2f}s "
+        f"({100 * (overhead - 1):+.1f}% overhead)"
+    )
+    assert overhead <= MAX_OVERHEAD, (
+        f"supervision overhead {100 * (overhead - 1):.1f}% exceeds "
+        f"{100 * (MAX_OVERHEAD - 1):.0f}%"
+    )
+
+
+def test_crashed_campaign_recovers_identically(timings, recovery):
+    """Two mid-sweep worker crashes: the campaign respawns, retries, and
+    finishes with zero casualties and bitwise-identical pricing."""
+    supervised = timings["supervised"]
+    result = recovery["result"]
+    assert not result.failures
+    assert result.supervision.crashes >= 2
+    assert result.supervision.respawns >= 2
+    assert [r.to_dict() for r in result.results] == [
+        r.to_dict() for r in supervised.results
+    ]
+    print(
+        f"recovered sweep (2 crashes at batches {recovery['crash_batches']})"
+        f": {recovery['seconds']:.2f}s vs fault-free "
+        f"{timings['supervised_seconds']:.2f}s"
+    )
+
+
+def test_artifact_written(timings, recovery):
+    supervised = timings["supervised"]
+    overhead = timings["supervised_seconds"] / timings["baseline_seconds"]
+    payload = {
+        "benchmark": "fault_tolerance",
+        "num_feasible": len(supervised.results),
+        "workers": WORKERS,
+        "chunk_size": CHUNK,
+        "baseline_seconds": timings["baseline_seconds"],
+        "supervised_seconds": timings["supervised_seconds"],
+        "supervision_overhead": overhead,
+        "max_overhead": MAX_OVERHEAD,
+        "recovery": {
+            "seconds": recovery["seconds"],
+            "crash_batches": recovery["crash_batches"],
+            "supervision": recovery["result"].supervision.to_dict(),
+            "num_failed": len(recovery["result"].failures),
+        },
+    }
+    ARTIFACT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    written = json.loads(ARTIFACT_PATH.read_text())
+    assert written["supervision_overhead"] <= MAX_OVERHEAD
+    assert written["recovery"]["num_failed"] == 0

@@ -9,9 +9,14 @@ vectorized schedule solve, and co-simulates the finalists with real
 payloads — reporting the front, the cross-tier agreement, and the
 cache economics of a warm re-run.
 
-``--workers`` shards the grid sweep over a process pool; ``--tier``
+``--workers`` shards the grid sweep over a supervised process pool
+(crashed or hung workers are respawned and their batches retried, so a
+bad point is quarantined instead of killing the sweep); ``--tier``
 caps the evaluation ladder; ``--cache-dir`` persists results across
 runs (content-addressed, so any changed parameter re-prices);
+``--resume`` continues a killed campaign from its checkpoint journal
+(requires ``--cache-dir``) with pure cache hits on completed batches;
+``--retries`` and ``--batch-timeout`` tune the supervision policy;
 ``--json`` writes the campaign summary for downstream tooling.
 
 Usage::
@@ -21,7 +26,8 @@ Usage::
         [--fusions none,gather,full] [--partitions balanced,contiguous] \
         [--precisions float64,float32,mixed] \
         [--tier closed-form|exact|cosim] [--workers N] \
-        [--cache-dir DIR] [--json FILE]
+        [--cache-dir DIR] [--resume] [--retries N] \
+        [--batch-timeout SECONDS] [--json FILE]
 """
 
 from __future__ import annotations
@@ -30,7 +36,7 @@ import argparse
 import json
 import time
 
-from repro.dse import CampaignSpec, ResultCache, run_campaign
+from repro.dse import CampaignSpec, ResultCache, RetryPolicy, run_campaign
 
 
 def _int_list(text: str) -> tuple[int, ...]:
@@ -111,6 +117,26 @@ def main() -> None:
         "(persists across runs)",
     )
     parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume a killed campaign from its checkpoint journal "
+        "(requires --cache-dir); completed batches replay from cache",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="supervised-pool retry budget per batch before bisection "
+        "and quarantine",
+    )
+    parser.add_argument(
+        "--batch-timeout",
+        type=float,
+        default=120.0,
+        help="per-batch deadline in seconds; a batch still running when "
+        "it expires is treated as hung and retried (0 disables)",
+    )
+    parser.add_argument(
         "--json",
         default=None,
         help="write the campaign summary to this JSON file",
@@ -131,9 +157,18 @@ def main() -> None:
         ),
     )
     cache = ResultCache(args.cache_dir)
+    retry = RetryPolicy(
+        max_retries=args.retries,
+        batch_timeout=args.batch_timeout or None,
+    )
     start = time.perf_counter()
     result = run_campaign(
-        spec, workers=args.workers, cache=cache, highest_tier=args.tier
+        spec,
+        workers=args.workers,
+        cache=cache,
+        highest_tier=args.tier,
+        retry=retry,
+        resume=args.resume,
     )
     elapsed = time.perf_counter() - start
 
@@ -146,6 +181,12 @@ def main() -> None:
         f"cache: {cache.stats.hits} hits / {cache.stats.misses} misses "
         f"(hit rate {cache.stats.hit_rate:.0%})"
     )
+    if result.resumed:
+        print("resumed from the checkpoint journal")
+    if result.failures:
+        print(f"quarantined casualties: {len(result.failures)}")
+        for failed in result.failures:
+            print(f"  {failed.tier}: {failed.error}")
     print()
     print(f"== Pareto front ({len(result.front)} points) ==")
     header = (
@@ -172,11 +213,17 @@ def main() -> None:
                 f"(bound {check.bound:.0%}) {status}"
             )
     if result.cosim:
-        worst = max(r.state_max_rel_err for r in result.cosim)
-        print(
-            f"co-simulated finalists: {len(result.cosim)}, worst state "
-            f"error vs functional solver {worst:.2e}"
+        errors = [
+            r.state_max_rel_err
+            for r in result.cosim
+            if r.state_max_rel_err is not None
+        ]
+        detail = (
+            f", worst state error vs functional solver {max(errors):.2e}"
+            if errors
+            else " (state verification off; see run_campaign(verify=...))"
         )
+        print(f"co-simulated finalists: {len(result.cosim)}{detail}")
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(result.to_dict(), handle, indent=1)

@@ -50,12 +50,24 @@ Pool lifecycle:
 Worker count resolution: explicit ``num_workers`` argument >
 ``REPRO_NUM_WORKERS`` environment variable > the machine's CPU count
 (:func:`repro.backend.registry.resolve_num_workers`).
+
+Graceful degradation (``"procs"``): a worker that dies mid-call (OOM
+kill, segfault, ``os._exit``) is detected from its pipe, the pool is
+respawned (staged connectivity / geometry replayed to the fresh
+workers) and the affected call retried up to :data:`_MAX_SHARD_RETRIES`
+times; if the pool keeps dying the call **falls back to the serial**
+``"fast"`` **path with a** :class:`RuntimeWarning` instead of raising —
+a numerically identical answer, minus the parallelism. Teardown
+escalates: ``join(_JOIN_TIMEOUT)``, then ``terminate()``, then
+``kill()`` + final join, so a wedged worker can never hang interpreter
+exit.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import warnings
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 
@@ -65,6 +77,7 @@ from ..errors import BackendError, FEMError
 from ..fem.geometry import ElementGeometry
 from ..fem.reference import ReferenceHex
 from ..mesh.partition import partition_elements_balanced
+from ..testing import faults
 from .base import KernelBackend
 from .fast import FastBackend
 from .registry import resolve_num_workers
@@ -73,6 +86,32 @@ from .registry import resolve_num_workers
 #: streaming co-simulation (a fresh block view per token) cannot grow
 #: worker memory without bound.
 _OBJECT_CACHE_LIMIT = 64
+
+#: Respawn-and-retry budget of one sharded procs call before it
+#: degrades to the serial path.
+_MAX_SHARD_RETRIES = 2
+
+#: Graceful-close patience before join escalates to ``terminate()``
+#: (then ``kill()`` after :data:`_ESCALATION_TIMEOUT` more). Module
+#: level so the teardown tests can shrink them.
+_JOIN_TIMEOUT = 5.0
+_ESCALATION_TIMEOUT = 1.0
+
+
+class _WorkerDied(BackendError):
+    """Internal: a procs worker vanished mid-conversation (EOF / broken
+    pipe) — retry material, unlike a worker-*reported* error."""
+
+
+def _reap(proc) -> None:
+    """Join with escalation: join -> terminate -> kill -> final join."""
+    proc.join(_JOIN_TIMEOUT)
+    if proc.is_alive():
+        proc.terminate()
+        proc.join(_ESCALATION_TIMEOUT)
+    if proc.is_alive():
+        proc.kill()
+        proc.join()
 
 
 def element_shards(num_elements: int, num_workers: int) -> list[slice]:
@@ -658,17 +697,28 @@ def _attach_view(segments: dict, name: str, shape, dtype) -> np.ndarray:
     return np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
 
 
-def _procs_worker(channel) -> None:
+def _procs_worker(channel, inherited_fds=()) -> None:
     """Worker main loop: attach shared memory, run shard jobs, reply.
 
     The worker holds a private :class:`FastBackend` (warm caches across
     calls), a cache of shipped objects (geometry, reference elements,
     shared connectivity views), and its shared-memory attachments.
+
+    ``inherited_fds`` are parent-side pipe ends this fork-started
+    worker inherited copies of (its own channel's parent end and its
+    siblings'); closing them here guarantees the worker sees EOF — and
+    exits — if the parent dies without a graceful ``close``.
     """
+    for fd in inherited_fds:
+        try:
+            os.close(fd)
+        except OSError:
+            pass
     local = FastBackend()
     objects: dict[str, object] = {}
     conn_shards: dict[tuple, np.ndarray] = {}
     segments: dict = {}
+    run_ops = 0
     try:
         while True:
             try:
@@ -678,6 +728,10 @@ def _procs_worker(channel) -> None:
             op = msg[0]
             try:
                 if op == "close":
+                    # Teardown-escalation seam: a hang here wedges the
+                    # graceful close handshake, forcing the parent's
+                    # join -> terminate -> kill ladder.
+                    faults.trip("procs.close")
                     channel.send(("ok", None))
                     break
                 if op == "put":
@@ -698,6 +752,8 @@ def _procs_worker(channel) -> None:
                         shm.close()
                     channel.send(("ok", None))
                 elif op == "run":
+                    run_ops += 1
+                    faults.trip("procs.worker", context=run_ops)
                     job = msg[1]
                     inp = _attach_view(segments, *job["inp"])
                     out = _attach_view(segments, *job["out"])
@@ -797,6 +853,10 @@ class ProcsBackend(_ShardedBackend):
         self._objects: OrderedDict[int, tuple] = OrderedDict()
         self._shared_arrays: OrderedDict[int, tuple] = OrderedDict()
         self._token_counter = 0
+        #: Pool respawns after a mid-call worker death (cumulative).
+        self.respawns = 0
+        #: Sharded calls that degraded to the serial path (cumulative).
+        self.serial_fallbacks = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -822,9 +882,9 @@ class ProcsBackend(_ShardedBackend):
             except (BrokenPipeError, OSError):
                 pass
         for proc in self._workers:
-            proc.join(timeout=5.0)
-            if proc.is_alive():  # pragma: no cover - hung worker
-                proc.terminate()
+            # join -> terminate -> kill: a wedged worker (even one
+            # ignoring SIGTERM) can never hang interpreter exit.
+            _reap(proc)
         for channel in self._channels:
             channel.close()
         self._workers = []
@@ -853,7 +913,17 @@ class ProcsBackend(_ShardedBackend):
     def _ensure_pool(self) -> None:
         self._guard_fork()
         if self._workers:
+            if all(proc.is_alive() for proc in self._workers):
+                return
+            # A worker died between calls (OOM kill, crash): rebuild the
+            # whole pool before dispatching onto a dead pipe.
+            self._respawn_workers()
             return
+        self._spawn_workers()
+        self._owner_pid = os.getpid()
+        self._register_atexit()
+
+    def _spawn_workers(self) -> None:
         import multiprocessing
 
         try:
@@ -862,27 +932,65 @@ class ProcsBackend(_ShardedBackend):
             ctx = multiprocessing.get_context()
         for _ in range(self.num_workers):
             parent_end, child_end = ctx.Pipe()
+            inherited = [chan.fileno() for chan in self._channels] + [
+                parent_end.fileno()
+            ]
             proc = ctx.Process(
-                target=_procs_worker, args=(child_end,), daemon=True
+                target=_procs_worker,
+                args=(child_end, inherited),
+                daemon=True,
             )
             proc.start()
             child_end.close()
             self._workers.append(proc)
             self._channels.append(parent_end)
-        self._owner_pid = os.getpid()
-        self._register_atexit()
+
+    def _respawn_workers(self) -> None:
+        """Replace the whole fleet after a worker death and replay the
+        staged state (shipped objects, shared connectivity segments) so
+        the fresh workers resolve every token the next job references.
+
+        The shared-memory segments themselves are parent-owned and
+        survive; only the worker-side caches need rebuilding.
+        """
+        workers, self._workers = self._workers, []
+        channels, self._channels = self._channels, []
+        for proc in workers:
+            if proc.is_alive():
+                proc.kill()
+            proc.join()
+        for channel in channels:
+            channel.close()
+        self._spawn_workers()
+        self.respawns += 1
+        for _obj, token in list(self._objects.values()):
+            self._broadcast(("put", token, pickle.dumps(_obj, protocol=-1)))
+        for array, token, shm in list(self._shared_arrays.values()):
+            self._broadcast(
+                ("attach_array", token, shm.name, array.shape, array.dtype.str)
+            )
 
     # -- worker messaging ----------------------------------------------------
 
     def _broadcast(self, msg: tuple) -> None:
         for channel in self._channels:
-            channel.send(msg)
+            try:
+                channel.send(msg)
+            except (BrokenPipeError, OSError) as exc:
+                raise _WorkerDied(
+                    f"procs backend worker died mid-broadcast: {exc}"
+                ) from None
         for channel in self._channels:
             self._await_ok(channel)
 
     @staticmethod
     def _await_ok(channel) -> None:
-        status, detail = channel.recv()
+        try:
+            status, detail = channel.recv()
+        except (EOFError, OSError) as exc:
+            raise _WorkerDied(
+                f"procs backend worker died mid-call: {exc!r}"
+            ) from None
         if status != "ok":
             raise BackendError(f"procs backend worker failed: {detail}")
 
@@ -953,6 +1061,54 @@ class ProcsBackend(_ShardedBackend):
         return np.array(out)
 
     def _run_shards(self, jobs: list[dict]) -> None:
+        """Dispatch with supervision: a mid-call worker death triggers a
+        bounded respawn-and-retry of the whole call, then degradation to
+        the serial ``"fast"`` path with a warning — never an exception
+        for a *process* fault (worker-reported kernel errors still
+        raise :class:`~repro.errors.BackendError`)."""
+        attempts = 0
+        while True:
+            try:
+                self._dispatch_shards(jobs)
+                return
+            except _WorkerDied as exc:
+                attempts += 1
+                if attempts > _MAX_SHARD_RETRIES:
+                    self._degrade(jobs, str(exc))
+                    return
+                try:
+                    self._respawn_workers()
+                except _WorkerDied as respawn_exc:
+                    self._degrade(jobs, str(respawn_exc))
+                    return
+
+    def _degrade(self, jobs: list[dict], reason: str) -> None:
+        """Serial fallback: run every shard in-process on the ``"fast"``
+        backend — numerically identical (same shards, same ordered
+        reduction), just not parallel."""
+        self.serial_fallbacks += 1
+        warnings.warn(
+            f"procs backend pool kept dying ({reason}); falling back to "
+            "the serial fast path for this call",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        for job in jobs:
+            conn = job["conn"]
+            _apply_shard(
+                self._serial,
+                job["kernel"],
+                job["sl"],
+                job["inp"],
+                None if conn is None else conn[job["sl"]],
+                job["geom"],
+                job["ref"],
+                job["num_nodes"],
+                job["out"],
+                job["partial_row"],
+            )
+
+    def _dispatch_shards(self, jobs: list[dict]) -> None:
         inp = np.ascontiguousarray(jobs[0]["inp"])
         in_name = self._input.ensure(
             inp.nbytes, lambda old: self._broadcast(("detach", old))
@@ -971,23 +1127,36 @@ class ProcsBackend(_ShardedBackend):
             "ref": ref_token,
         }
         for index, job in enumerate(jobs):
-            self._channels[index].send(
-                (
-                    "run",
-                    {
-                        **descriptor_base,
-                        "kernel": job["kernel"],
-                        "shard": (job["sl"].start, job["sl"].stop),
-                        "num_nodes": job["num_nodes"],
-                        "partial_row": job["partial_row"],
-                    },
+            try:
+                self._channels[index].send(
+                    (
+                        "run",
+                        {
+                            **descriptor_base,
+                            "kernel": job["kernel"],
+                            "shard": (job["sl"].start, job["sl"].stop),
+                            "num_nodes": job["num_nodes"],
+                            "partial_row": job["partial_row"],
+                        },
+                    )
                 )
-            )
+            except (BrokenPipeError, OSError) as exc:
+                raise _WorkerDied(
+                    f"procs backend worker died at dispatch: {exc}"
+                ) from None
         errors = []
+        died: _WorkerDied | None = None
         for index in range(len(jobs)):
             try:
                 self._await_ok(self._channels[index])
+            except _WorkerDied as exc:
+                # Keep draining the other channels (their workers may be
+                # fine and mid-compute) before surfacing the death to
+                # the retry loop.
+                died = exc
             except BackendError as exc:
                 errors.append(str(exc))
+        if died is not None:
+            raise died
         if errors:
             raise BackendError("; ".join(errors))

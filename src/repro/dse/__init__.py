@@ -15,20 +15,28 @@ at three fidelities; this package makes the *space* cheap to sweep:
   (in-memory + atomic on-disk JSON, hit/miss accounting);
 - :mod:`repro.dse.pareto` — vectorized Pareto-front extraction
   (cycles vs LUT/DSP/BRAM);
+- :mod:`repro.dse.pool` — the fault-tolerant
+  :class:`~repro.dse.pool.SupervisedPool` (dead-worker respawn,
+  per-batch deadlines, backoff retries, bisection quarantine) and its
+  :class:`~repro.dse.pool.RetryPolicy`;
+- :mod:`repro.dse.checkpoint` — the append-only campaign progress
+  journal behind ``run_campaign(..., resume=True)``;
 - :mod:`repro.dse.executor` — :func:`~repro.dse.executor.run_campaign`
-  (process-pool sharding, deterministic merge) and the asynchronous
-  :class:`~repro.dse.executor.CampaignExecutor`
-  (``submit``/``poll``/``collect``).
+  (supervised sharding, deterministic merge, checkpoint/resume) and
+  the asynchronous :class:`~repro.dse.executor.CampaignExecutor`
+  (``submit``/``poll``/``collect``/``cancel``, job timeouts).
 """
 
 from .cache import CacheStats, ResultCache, cache_key
 from .campaign import CASES, PARTITIONS, CampaignSpec, DesignPoint
+from .checkpoint import CampaignJournal, JournalState, journal_path
 from .executor import (
     AgreementCheck,
     CampaignExecutor,
     CampaignResult,
     run_campaign,
 )
+from .pool import PoolStats, RetryPolicy, SupervisedPool
 from .fingerprint import canonicalize, fingerprint
 from .pareto import PARETO_OBJECTIVES, pareto_front, pareto_indices
 from .tiers import (
@@ -54,7 +62,13 @@ __all__ = [
     "cache_key",
     "AgreementCheck",
     "CampaignExecutor",
+    "CampaignJournal",
     "CampaignResult",
+    "JournalState",
+    "PoolStats",
+    "RetryPolicy",
+    "SupervisedPool",
+    "journal_path",
     "run_campaign",
     "canonicalize",
     "fingerprint",

@@ -14,6 +14,13 @@ directory, then :func:`os.replace`), so concurrent writers — the
 parallel executor's pool workers all warming the same directory — can
 never expose a torn entry: the worst case is the same bytes written
 twice.
+
+The cache degrades instead of failing: a corrupted / truncated /
+unreadable entry is a **miss** (the bad file is removed, the result
+recomputed and rewritten atomically, ``stats.corrupt`` incremented),
+and a failed disk write (disk full, permissions) keeps the in-memory
+entry, warns, and counts ``stats.write_errors`` — a sick filesystem
+slows a campaign down, it never kills it.
 """
 
 from __future__ import annotations
@@ -22,18 +29,21 @@ import copy
 import json
 import os
 import tempfile
+import warnings
 from dataclasses import dataclass
 from functools import lru_cache
 from pathlib import Path
 
 from ..errors import DSEError
+from ..testing import faults
 from .campaign import DesignPoint
 from .fingerprint import fingerprint
 from .tiers import PointResult, TIERS
 
 #: Bump when the on-disk payload shape changes; part of every key, so a
 #: schema change invalidates (rather than misreads) old entries.
-SCHEMA_VERSION = 1
+#: 2: PointResult grew ``status``/``error`` (quarantined-failure fields).
+SCHEMA_VERSION = 2
 
 
 @lru_cache(maxsize=65536)
@@ -70,6 +80,11 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     writes: int = 0
+    #: Corrupted / truncated / unreadable on-disk entries served as
+    #: misses (each one was removed and will be rewritten).
+    corrupt: int = 0
+    #: Disk writes that failed (entry kept in memory, warning issued).
+    write_errors: int = 0
 
     @property
     def lookups(self) -> int:
@@ -132,15 +147,22 @@ class ResultCache:
             try:
                 with open(name, "r") as handle:
                     payload = json.loads(handle.read())
+                if payload is not None:
+                    result = _served(PointResult.from_dict(payload))
+                    self._memory[key] = result
             except FileNotFoundError:
-                payload = None
-            except (OSError, json.JSONDecodeError) as exc:
-                raise DSEError(
-                    f"unreadable cache entry {key}.json: {exc}"
-                ) from None
-            if payload is not None:
-                result = _served(PointResult.from_dict(payload))
-                self._memory[key] = result
+                pass
+            except (OSError, json.JSONDecodeError, DSEError):
+                # A corrupted, truncated, or unreadable entry (a torn
+                # copy from another filesystem, a crash mid-`cp`, bit
+                # rot) is a MISS, not a campaign-killing error: drop the
+                # bad file so the recompute rewrites it atomically.
+                self.stats.corrupt += 1
+                result = None
+                try:
+                    os.unlink(name)
+                except OSError:
+                    pass
         if result is None:
             self.stats.misses += 1
             return None
@@ -168,20 +190,34 @@ class ResultCache:
         )
         # Atomic publish: readers (and concurrent writers racing on the
         # same key) see either no file or a complete one, never a torn
-        # write.
-        fd, tmp_name = tempfile.mkstemp(
-            dir=self._directory, prefix=f".{key[:16]}-", suffix=".tmp"
-        )
+        # write. A failed write (disk full, permissions) degrades to
+        # memory-only: the campaign keeps running, the warning and
+        # ``stats.write_errors`` surface the sick filesystem.
         try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(payload)
-            os.replace(tmp_name, self._path(key))
-        except OSError:
+            fired = faults.trip("cache.write", context=key)
+            if fired is not None and fired.kind == "truncate":
+                payload = payload[: max(1, len(payload) // 3)]
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self._directory, prefix=f".{key[:16]}-", suffix=".tmp"
+            )
             try:
-                os.unlink(tmp_name)
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(payload)
+                os.replace(tmp_name, self._path(key))
             except OSError:
-                pass
-            raise
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError as exc:
+            self.stats.write_errors += 1
+            warnings.warn(
+                f"cache write failed for {key[:16]}… ({exc}); entry kept "
+                "in memory only",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     def lookup(self, point: DesignPoint, tier: str) -> PointResult | None:
         """:meth:`get` keyed by content (:func:`cache_key`)."""

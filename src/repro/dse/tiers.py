@@ -119,8 +119,46 @@ class PointResult:
     #: Max-norm relative state error of the co-simulated step against
     #: the functional solver (cosim tier only).
     state_max_rel_err: float | None = None
+    #: ``"ok"`` for a priced point; ``"failed"`` for a quarantined one
+    #: (its worker died repeatedly, its batch hit its deadline too many
+    #: times, or its evaluation raised) — the campaign's casualty list
+    #: is made of these instead of an unhandled exception.
+    status: str = "ok"
+    #: The quarantine reason when ``status != "ok"``.
+    error: str | None = None
     #: True when this result was served by the content-addressed cache.
     from_cache: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True for a successfully priced point."""
+        return self.status == "ok"
+
+    @classmethod
+    def failed(
+        cls, point: DesignPoint, tier: str, error: str
+    ) -> "PointResult":
+        """A quarantined casualty: zeroed numerics, the failure reason
+        in ``error``, and ``status="failed"``."""
+        return cls(
+            point=point,
+            tier=tier,
+            step_cycles=0.0,
+            rkl_stage_cycles=0.0,
+            rku_step_cycles=0.0,
+            clock_mhz=0.0,
+            step_seconds=0.0,
+            run_seconds=0.0,
+            num_nodes=point.num_nodes,
+            num_elements=point.num_elements,
+            lut=0.0,
+            ff=0.0,
+            bram36=0.0,
+            uram=0.0,
+            dsp=0.0,
+            status="failed",
+            error=error,
+        )
 
     def to_dict(self) -> dict:
         """JSON-ready form (the cache's on-disk payload)."""
@@ -142,6 +180,8 @@ class PointResult:
                 "uram",
                 "dsp",
                 "state_max_rel_err",
+                "status",
+                "error",
             )
         }
         out["point"] = self.point.spec()

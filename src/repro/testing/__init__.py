@@ -1,0 +1,35 @@
+"""repro.testing — deterministic test harnesses for the repro library.
+
+Currently home to :mod:`repro.testing.faults`, the seed-driven fault
+injector the fault-tolerance suite uses to exercise worker crashes,
+hangs, poisoned pipe messages, and cache-write failures behind
+production-code seams. The package deliberately imports nothing from
+the rest of :mod:`repro` (beyond the error hierarchy), so any module —
+including the backend layer — can host a seam without import cycles.
+"""
+
+from .faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    active_plan,
+    clear_faults,
+    injected_faults,
+    install_faults,
+    seeded_contexts,
+    trip,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "active_plan",
+    "clear_faults",
+    "injected_faults",
+    "install_faults",
+    "seeded_contexts",
+    "trip",
+]

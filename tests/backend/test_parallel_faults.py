@@ -1,0 +1,199 @@
+"""Graceful-degradation tests of the procs backend under injected faults.
+
+Covers the three recovery behaviors of :class:`ProcsBackend`:
+respawn-and-retry after a mid-call worker death (numerically identical
+results), serial-"fast"-path fallback with a warning when the pool
+keeps dying, and join -> terminate -> kill teardown escalation so a
+wedged worker can never hang interpreter exit.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+import repro.backend.parallel as parallel_mod
+from repro.backend.fast import FastBackend
+from repro.backend.parallel import ProcsBackend
+from repro.errors import BackendError
+from repro.testing import FaultSpec, injected_faults
+
+RNG = np.random.default_rng(7)
+E, Q, NODES = 64, 27, 100
+CONN = RNG.integers(0, NODES, size=(E, Q))
+VALS = RNG.standard_normal((E, Q))
+
+
+@pytest.fixture(scope="module")
+def expected():
+    """Fault-free procs pricing (the bitwise determinism baseline)."""
+    backend = ProcsBackend(num_workers=4)
+    try:
+        return backend.scatter_add(VALS, CONN, NODES)
+    finally:
+        backend.close()
+
+
+def _gone(pids, patience=5.0):
+    deadline = time.monotonic() + patience
+    while time.monotonic() < deadline:
+        if not any(os.path.exists(f"/proc/{pid}") for pid in pids):
+            return True
+        time.sleep(0.05)
+    return False
+
+
+def test_worker_crash_mid_call_respawns_and_retries(expected):
+    backend = ProcsBackend(num_workers=4)
+    try:
+        with injected_faults(
+            FaultSpec(site="procs.worker", kind="crash", at=(1,))
+        ) as plan:
+            got = backend.scatter_add(VALS, CONN, NODES)
+        assert plan.total_fired() == 1
+        assert backend.respawns == 1
+        assert backend.serial_fallbacks == 0
+        assert np.array_equal(got, expected)
+        # The respawned pool replays staged state: the next call (same
+        # connectivity token) must work and match bitwise.
+        assert np.array_equal(
+            backend.scatter_add(VALS, CONN, NODES), expected
+        )
+    finally:
+        backend.close()
+
+
+def test_unstoppable_crashes_fall_back_to_serial(expected):
+    """A fleet that dies on every dispatch exhausts the retry budget and
+    degrades to the serial fast path — with a warning, not an error."""
+    backend = ProcsBackend(num_workers=4)
+    try:
+        with injected_faults(
+            FaultSpec(site="procs.worker", kind="crash", times=0)
+        ):
+            with pytest.warns(RuntimeWarning, match="falling back"):
+                got = backend.scatter_add(VALS, CONN, NODES)
+        assert backend.serial_fallbacks == 1
+        assert backend.respawns == parallel_mod._MAX_SHARD_RETRIES
+        assert np.array_equal(got, expected)
+    finally:
+        backend.close()
+
+    # Serial fallback equals the fast backend exactly on elementwise
+    # kernels too (identical shard writes, no reduction involved).
+    fast = FastBackend()
+    from repro.fem.reference import reference_hex
+
+    ref = reference_hex(2)
+    field = RNG.standard_normal((E, ref.num_nodes))
+    backend = ProcsBackend(num_workers=4)
+    try:
+        with injected_faults(
+            FaultSpec(site="procs.worker", kind="crash", times=0)
+        ):
+            with pytest.warns(RuntimeWarning):
+                got = backend.reference_gradient(field, ref)
+        assert np.array_equal(got, fast.reference_gradient(field, ref))
+    finally:
+        backend.close()
+
+
+def test_dead_worker_between_calls_is_pruned(expected):
+    """A worker that dies BETWEEN calls (not mid-conversation) is
+    detected at the next call and the pool rebuilt before dispatch."""
+    backend = ProcsBackend(num_workers=4)
+    try:
+        assert np.array_equal(
+            backend.scatter_add(VALS, CONN, NODES), expected
+        )
+        os.kill(backend.worker_pids()[2], 9)
+        deadline = time.monotonic() + 5.0
+        while backend._workers[2].is_alive():
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        got = backend.scatter_add(VALS, CONN, NODES)
+        assert backend.respawns == 1
+        assert np.array_equal(got, expected)
+    finally:
+        backend.close()
+
+
+def test_worker_reported_errors_still_raise(expected):
+    """Degradation is for process faults only: a kernel error reported
+    by a healthy worker must stay a BackendError (no retry, no serial
+    fallback)."""
+    backend = ProcsBackend(num_workers=4)
+    try:
+        bad_conn = CONN.copy()
+        bad_conn[0, 0] = NODES + 50  # out of range -> worker IndexError
+        with pytest.raises(BackendError, match="worker failed"):
+            backend.scatter_add(VALS, bad_conn, NODES)
+        assert backend.respawns == 0
+        assert backend.serial_fallbacks == 0
+    finally:
+        backend.close()
+
+
+def test_close_escalates_join_terminate_kill(monkeypatch):
+    """A worker hanging in the close handshake AND ignoring SIGTERM is
+    SIGKILLed within the (shrunk) escalation timeouts — close() never
+    hangs, no process lingers."""
+    monkeypatch.setattr(parallel_mod, "_JOIN_TIMEOUT", 0.3)
+    monkeypatch.setattr(parallel_mod, "_ESCALATION_TIMEOUT", 0.2)
+    with injected_faults(
+        FaultSpec(
+            site="procs.close",
+            kind="hang",
+            hang_seconds=60.0,
+            ignore_sigterm=True,
+            times=0,
+        )
+    ):
+        backend = ProcsBackend(num_workers=2)
+        backend.scatter_add(VALS, CONN, NODES)  # workers fork w/ plan
+        pids = backend.worker_pids()
+        assert pids
+        start = time.monotonic()
+        backend.close()
+        elapsed = time.monotonic() - start
+    assert elapsed < 5.0, "close must not wait out the 60s hang"
+    assert _gone(pids), "every worker must be reaped"
+
+
+def test_close_stays_fast_without_faults():
+    backend = ProcsBackend(num_workers=2)
+    backend.scatter_add(VALS, CONN, NODES)
+    pids = backend.worker_pids()
+    start = time.monotonic()
+    backend.close()
+    assert time.monotonic() - start < parallel_mod._JOIN_TIMEOUT
+    assert _gone(pids)
+
+
+def test_orphaned_worker_exits_on_parent_death():
+    """A worker must hold no copy of its own parent-side pipe end: when
+    the owning process dies without close(), the worker sees EOF and
+    exits instead of orphaning forever."""
+    import multiprocessing
+
+    ctx = multiprocessing.get_context("fork")
+    recv_end, send_end = ctx.Pipe(duplex=False)
+
+    def owner() -> None:
+        backend = ProcsBackend(num_workers=2)
+        backend.scatter_add(VALS, CONN, NODES)
+        send_end.send(backend.worker_pids())  # synchronous, no feeder
+        os._exit(0)  # dies WITHOUT close(): no EOF is sent explicitly
+
+    proc = ctx.Process(target=owner)
+    proc.start()
+    send_end.close()
+    assert recv_end.poll(60), "owner must report its worker pids"
+    pids = recv_end.recv()
+    proc.join(30)
+    assert _gone(pids, patience=10.0), (
+        "workers must exit on parent death (EOF), not orphan"
+    )

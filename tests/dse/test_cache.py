@@ -90,12 +90,101 @@ def test_directory_must_be_a_directory(tmp_path):
         ResultCache(target)
 
 
-def test_corrupt_entry_raises(tmp_path):
+def test_corrupt_entry_is_a_miss_and_recovers(tmp_path):
+    """A corrupted on-disk entry is a MISS (counted in stats.corrupt),
+    the bad file is removed, and the recompute rewrites it atomically —
+    never a campaign-killing exception."""
     cache = ResultCache(tmp_path)
     key = cache_key(POINT, "closed-form")
-    (tmp_path / f"{key}.json").write_text("{not json")
-    with pytest.raises(DSEError, match="unreadable"):
-        cache.get(key)
+    path = tmp_path / f"{key}.json"
+    path.write_text("{not json")
+    assert cache.get(key) is None
+    assert cache.stats.corrupt == 1
+    assert cache.stats.misses == 1
+    assert not path.exists()  # bad file dropped
+    cache.store(POINT, "closed-form", evaluate_closed_form(POINT))
+    assert path.exists()
+    fresh = ResultCache(tmp_path)
+    served = fresh.lookup(POINT, "closed-form")
+    assert served is not None and served.from_cache
+
+
+def test_truncated_entry_is_a_miss(tmp_path):
+    """The torn tail of a killed writer (or a partial copy) behaves
+    exactly like corruption: miss, count, recover."""
+    cache = ResultCache(tmp_path)
+    cache.store(POINT, "closed-form", evaluate_closed_form(POINT))
+    key = cache_key(POINT, "closed-form")
+    path = tmp_path / f"{key}.json"
+    path.write_text(path.read_text()[: len(path.read_text()) // 2])
+    fresh = ResultCache(tmp_path)
+    assert fresh.get(key) is None
+    assert fresh.stats.corrupt == 1
+
+
+def test_wrong_schema_payload_is_a_miss(tmp_path):
+    """Valid JSON that does not deserialize to a PointResult (stale
+    schema, foreign file) is corruption, not a crash."""
+    cache = ResultCache(tmp_path)
+    key = cache_key(POINT, "closed-form")
+    (tmp_path / f"{key}.json").write_text('{"tier": "closed-form"}')
+    assert cache.get(key) is None
+    assert cache.stats.corrupt == 1
+
+
+def test_unreadable_entry_is_a_miss(tmp_path):
+    """An entry the process cannot read (permissions) is served as a
+    miss rather than raising."""
+    cache = ResultCache(tmp_path)
+    key = cache_key(POINT, "closed-form")
+    path = tmp_path / f"{key}.json"
+    path.write_text("{}")
+    path.chmod(0)
+    try:
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+    finally:
+        try:
+            path.chmod(0o644)
+        except OSError:
+            pass
+
+
+def test_failed_disk_write_degrades_to_memory(tmp_path):
+    """A cache-write failure (injected disk-full) keeps the entry in
+    memory, warns, and counts stats.write_errors — the campaign
+    continues."""
+    from repro.testing import FaultSpec, injected_faults
+
+    cache = ResultCache(tmp_path)
+    result = evaluate_closed_form(POINT)
+    key = cache_key(POINT, "closed-form")
+    with injected_faults(
+        FaultSpec(site="cache.write", kind="disk-full", times=1)
+    ):
+        with pytest.warns(RuntimeWarning, match="cache write failed"):
+            cache.store(POINT, "closed-form", result)
+    assert cache.stats.write_errors == 1
+    assert not (tmp_path / f"{key}.json").exists()
+    assert cache.lookup(POINT, "closed-form") is not None  # memory layer
+    # The filesystem healed: the next write persists.
+    cache.store(POINT, "closed-form", result)
+    assert (tmp_path / f"{key}.json").exists()
+
+
+def test_truncated_write_fault_recovers_on_read(tmp_path):
+    """An injected truncated publish lands a torn file on disk; the
+    next (fresh-process) read treats it as corruption and recovers."""
+    from repro.testing import FaultSpec, injected_faults
+
+    cache = ResultCache(tmp_path)
+    with injected_faults(
+        FaultSpec(site="cache.write", kind="truncate", times=1)
+    ):
+        cache.store(POINT, "closed-form", evaluate_closed_form(POINT))
+    fresh = ResultCache(tmp_path)
+    assert fresh.lookup(POINT, "closed-form") is None
+    assert fresh.stats.corrupt == 1
 
 
 def _write_entries(args):

@@ -140,6 +140,46 @@ def test_readme_documents_the_cosim_fast_path_knobs():
         assert needle in text, f"README.md lost its {needle!r} coverage"
 
 
+def test_architecture_documents_fault_tolerance():
+    text = (REPO_ROOT / "ARCHITECTURE.md").read_text()
+    for needle in (
+        "Fault tolerance & campaign checkpointing",
+        "SupervisedPool",
+        "RetryPolicy",
+        "quarantine",
+        "resume=True",
+        "CheckpointError",
+        "serial_fallbacks",
+        "repro.testing",
+        "seeded_contexts",
+    ):
+        assert needle in text, f"ARCHITECTURE.md lost its {needle!r} coverage"
+
+
+def test_readme_documents_fault_tolerance():
+    """The front door must advertise the resume/retry knobs and the
+    structured-failure contract."""
+    text = (REPO_ROOT / "README.md").read_text()
+    for needle in (
+        "resume=True",
+        "RetryPolicy",
+        "result.failures",
+        "--resume",
+        "repro.testing",
+        "BENCH_pr10.json",
+    ):
+        assert needle in text, f"README.md lost its {needle!r} coverage"
+
+
+def test_dse_campaign_example_declares_fault_controls():
+    smoke = _load_smoke_module()
+    declared = smoke.example_declared_flags(
+        REPO_ROOT / "examples" / "dse_campaign.py"
+    )
+    for flag in ("--resume", "--retries", "--batch-timeout"):
+        assert flag in declared, f"dse_campaign.py lost its {flag} flag"
+
+
 def test_architecture_documents_the_cosim_extension():
     text = (REPO_ROOT / "ARCHITECTURE.md").read_text()
     for needle in (
